@@ -1,0 +1,53 @@
+"""Section 5.1 peak bandwidth -- deliberate-update block transfer.
+
+Paper: "The peak bandwidth of the EISA bus in burst mode is 33
+Mbytes/second ... Our next implementation of SHRIMP will bypass the EISA
+bus, thus achieving peak bandwidth of about 70 Mbytes/second."  The sweep
+over transfer sizes shows the asymptote and where it is reached.
+"""
+
+from repro.analysis import Table
+from repro.analysis.bandwidth import bandwidth_sweep, measure_deliberate_bandwidth
+from repro.machine.config import eisa_prototype, next_generation
+
+SIZES = [256, 1024, 4096, 16384, 65536]
+
+
+def test_bandwidth_sweep_eisa(run_once):
+    result = run_once(bandwidth_sweep, SIZES, eisa_prototype)
+    table = Table(
+        ["transfer bytes", "MB/s"],
+        title="Deliberate-update bandwidth, EISA prototype (peak: 33 MB/s)",
+    )
+    for size in SIZES:
+        table.add(size, "%.1f" % result[size])
+    print()
+    print(table)
+    peak = result[max(SIZES)]
+    assert 28 <= peak <= 33.5  # saturates just under the 33 MB/s EISA burst
+
+
+def test_bandwidth_sweep_next_generation(run_once):
+    result = run_once(bandwidth_sweep, SIZES, next_generation)
+    table = Table(
+        ["transfer bytes", "MB/s"],
+        title="Deliberate-update bandwidth, next-gen (paper: ~70 MB/s)",
+    )
+    for size in SIZES:
+        table.add(size, "%.1f" % result[size])
+    print()
+    print(table)
+    assert 60 <= result[max(SIZES)] <= 72
+
+
+def test_eisa_is_the_bottleneck(run_once):
+    """Removing the EISA path roughly doubles bandwidth -- the paper's
+    bottleneck attribution."""
+
+    def both():
+        eisa, _ = measure_deliberate_bandwidth(65536, eisa_prototype)
+        nextgen, _ = measure_deliberate_bandwidth(65536, next_generation)
+        return eisa, nextgen
+
+    eisa, nextgen = run_once(both)
+    assert 1.8 <= nextgen / eisa <= 2.6

@@ -1,0 +1,115 @@
+"""Hardware cost-model calibration table.
+
+Measures the primitive operations of the memory hierarchy and NIC
+datapath and checks each against the configured parameters -- the trust
+anchor for every time-based number in EXPERIMENTS.md.  If a model change
+silently alters a component cost, this bench moves.
+"""
+
+from repro.analysis import Table
+from repro.machine import ShrimpSystem
+from repro.memsys.cache import CachePolicy
+from repro.sim.process import Process
+
+WB = CachePolicy.WRITE_BACK
+WT = CachePolicy.WRITE_THROUGH
+UC = CachePolicy.UNCACHED
+
+
+def measure_memory_ops():
+    """Per-operation latencies measured on a live node."""
+    system = ShrimpSystem(2, 1)
+    system.start()
+    node = system.nodes[0]
+    sim = system.sim
+    results = {}
+
+    def probe():
+        cache, bus = node.cache, node.bus
+        # Cache miss: cold read fills a line.
+        t0 = sim.now
+        yield from cache.read(0x1000, WB)
+        results["read miss (line fill)"] = sim.now - t0
+        # Cache hit.
+        t0 = sim.now
+        yield from cache.read(0x1000, WB)
+        results["read hit"] = sim.now - t0
+        # Write-back store to a cached line.
+        t0 = sim.now
+        yield from cache.write(0x1000, 1, WB)
+        results["WB store (hit)"] = sim.now - t0
+        # Write-through store (the mapped-page case the NIC snoops).
+        t0 = sim.now
+        yield from cache.write(0x2000, 1, WT)
+        results["WT store"] = sim.now - t0
+        # Uncached load (command-register reads).
+        t0 = sim.now
+        yield from bus.read(0x3000, 1, "cpu")
+        results["UC load (bus read)"] = sim.now - t0
+        # Locked CMPXCHG (read + write cycles, one tenure).
+        t0 = sim.now
+        yield from bus.cmpxchg(0x3000, 0, 1, "cpu")
+        results["locked CMPXCHG"] = sim.now - t0
+        # EISA burst of one line.
+        t0 = sim.now
+        yield from node.eisa.dma_write(0x4000, [0] * 8)
+        results["EISA burst (8 words)"] = sim.now - t0
+
+    Process(sim, probe(), "probe").start()
+    system.run()
+    return results, system.params
+
+
+def test_component_costs_match_parameters(run_once):
+    results, params = run_once(measure_memory_ops)
+    m = params.memsys
+    txn = lambda words: m.bus_arbitration_ns + words * m.bus_word_ns + m.dram_access_ns
+    line_words = m.cache_line_bytes // 4
+    expected = {
+        "read miss (line fill)": txn(line_words),
+        "read hit": m.cache_hit_ns,
+        "WB store (hit)": m.cache_hit_ns,
+        "WT store": txn(1),
+        "UC load (bus read)": txn(1),
+        "locked CMPXCHG": 2 * txn(1),
+        "EISA burst (8 words)": m.eisa_setup_ns
+        + max(8 * m.eisa_word_ns, txn(8)),
+    }
+    table = Table(
+        ["operation", "measured (ns)", "model (ns)"],
+        title="Hardware cost-model calibration (EISA prototype)",
+    )
+    for name, measured in results.items():
+        table.add(name, measured, expected[name])
+    print()
+    print(table)
+    for name, measured in results.items():
+        assert measured == expected[name], name
+
+
+def test_derived_bandwidth_figures(run_once):
+    """The headline bandwidth parameters the paper quotes."""
+
+    def params_only():
+        from repro.machine.config import eisa_prototype
+
+        return eisa_prototype()
+
+    params = run_once(params_only)
+    eisa_mbps = params.memsys.eisa_bandwidth_mbps()
+    bus_mbps = 4000.0 / params.memsys.bus_word_ns
+    dma_mbps = 4000.0 / params.nic.dma_word_ns
+    link_mbps = params.mesh.flit_bytes * 1000.0 / params.mesh.link_flit_ns
+    table = Table(
+        ["component", "peak MB/s", "paper reference"],
+        title="Component bandwidth ceilings",
+    )
+    table.add("EISA burst", "%.1f" % eisa_mbps, "33 (section 5.1)")
+    table.add("Xpress bus", "%.1f" % bus_mbps, ">= 2x EISA (section 5.1)")
+    table.add("DMA engine", "%.1f" % dma_mbps, "~70 next-gen ceiling")
+    table.add("mesh link", "%.1f" % link_mbps, "Paragon-class")
+    print()
+    print(table)
+    assert 32 <= eisa_mbps <= 34
+    assert bus_mbps >= 2 * eisa_mbps  # "all other parts ... at least twice"
+    assert link_mbps >= 2 * eisa_mbps

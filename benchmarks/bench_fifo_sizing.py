@@ -1,0 +1,116 @@
+"""Ablation A9 -- FIFO sizing: what does NIC buffering actually buy?
+
+Two results, one per test:
+
+1. **Steady-state throughput is buffer-independent.**  Wormhole
+   backpressure is lossless, so a streaming transfer runs at the rate of
+   the slowest pipeline stage (the EISA drain) no matter how small the
+   FIFOs are -- buffering cannot raise the asymptote.
+
+2. **Buffering buys burst absorption.**  A CPU bursting stores into an
+   automatic-update page finishes sooner with a deeper Outgoing FIFO:
+   small FIFOs hit the flow-control threshold and stall the CPU (the
+   paper's interrupt-and-wait), deep ones decouple the CPU from the wire.
+
+Together these justify modest FIFO sizes: enough to absorb bursts, with
+nothing to gain beyond that.
+"""
+
+from repro.analysis import Table
+from repro.analysis.bandwidth import measure_deliberate_bandwidth
+from repro.cpu import Asm, Context, Mem
+from repro.machine import ShrimpSystem, mapping
+from repro.machine.config import eisa_prototype
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+SIZES = [512, 1024, 2048, 4096, 8192]
+TRANSFER = 32 * 1024
+BURST_STORES = 96
+
+
+def bandwidth_with_fifo_bytes(fifo_bytes):
+    def factory():
+        params = eisa_prototype()
+        params.nic.outgoing_fifo_bytes = fifo_bytes
+        params.nic.outgoing_interrupt_threshold = max(64, fifo_bytes // 2)
+        params.nic.incoming_fifo_bytes = fifo_bytes
+        params.nic.incoming_stop_threshold = max(64, fifo_bytes // 2)
+        return params
+
+    bandwidth, _elapsed = measure_deliberate_bandwidth(TRANSFER, factory)
+    return bandwidth
+
+
+def burst_completion_with_fifo_bytes(fifo_bytes):
+    """Time for the CPU to retire a burst of automatic-update stores."""
+
+    def factory():
+        params = eisa_prototype()
+        params.nic.outgoing_fifo_bytes = fifo_bytes
+        params.nic.outgoing_interrupt_threshold = max(64, fifo_bytes // 2)
+        params.mesh.link_flit_ns = 100  # slow wire: the burst outruns it
+        return params
+
+    system = ShrimpSystem(2, 1, factory)
+    system.start()
+    a, b = system.nodes
+    mapping.establish(a, 0x10000, b, 0x20000, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+    asm = Asm("burst")
+    for i in range(BURST_STORES):
+        asm.mov(Mem(disp=0x10000 + 4 * (i % 1024)), i + 1)
+    asm.halt()
+    done = {}
+
+    def runner():
+        yield from a.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000))
+        done["t"] = system.sim.now
+
+    Process(system.sim, runner(), "burst").start()
+    system.run()
+    assert b.nic.packets_delivered.value == BURST_STORES  # nothing lost
+    return done["t"], a.nic.outgoing_fifo.threshold_crossings.value
+
+
+def test_steady_state_throughput_is_buffer_independent(run_once):
+    def experiment():
+        return {size: bandwidth_with_fifo_bytes(size) for size in SIZES}
+
+    results = run_once(experiment)
+    table = Table(
+        ["FIFO bytes (each)", "deliberate-update MB/s"],
+        title="A9a: streaming bandwidth vs FIFO capacity (32 KB transfer)",
+    )
+    for size in SIZES:
+        table.add(size, "%.1f" % results[size])
+    print()
+    print(table)
+    print("flat: lossless backpressure pins throughput to the slowest "
+          "stage, independent of buffering")
+    values = [results[size] for size in SIZES]
+    assert max(values) - min(values) < 0.05 * max(values)
+
+
+def test_burst_absorption_improves_with_depth(run_once):
+    def experiment():
+        return {
+            size: burst_completion_with_fifo_bytes(size)
+            for size in (256, 1024, 4096)
+        }
+
+    results = run_once(experiment)
+    table = Table(
+        ["outgoing FIFO bytes", "CPU burst retired (ns)", "CPU stalls"],
+        title="A9b: burst of %d stores vs a slow wire" % BURST_STORES,
+    )
+    for size in (256, 1024, 4096):
+        done_ns, stalls = results[size]
+        table.add(size, done_ns, stalls)
+    print()
+    print(table)
+    # Deeper FIFOs absorb the burst: the CPU finishes sooner and stalls
+    # less often.
+    assert results[4096][0] < results[256][0]
+    assert results[4096][1] <= results[256][1]

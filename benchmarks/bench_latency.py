@@ -1,0 +1,69 @@
+"""Section 5.1 latency -- single-write automatic update, 16-node system.
+
+Paper: "the propagation latency on a 16-node system with the current
+EISA-based prototype network interface is estimated to be slightly less
+than 2 usec"; the next implementation "will bypass the EISA bus ... thus
+reducing the latency to less than 1 usec".
+"""
+
+from repro.analysis import Table, measure_latency_breakdown, measure_store_latency
+from repro.machine.config import eisa_prototype, next_generation
+
+
+def test_latency_eisa_prototype(run_once):
+    latency = run_once(measure_store_latency, eisa_prototype)
+    table = Table(
+        ["configuration", "paper", "measured"],
+        title="Store-to-remote-memory latency (16 nodes, corner to corner)",
+    )
+    table.add("EISA prototype", "< 2000 ns", "%d ns" % latency)
+    print()
+    print(table)
+    assert latency < 2000
+
+
+def test_latency_next_generation(run_once):
+    latency = run_once(measure_store_latency, next_generation)
+    print("\nnext-generation (Xpress-mastering): %d ns (paper: < 1000 ns)"
+          % latency)
+    assert latency < 1000
+
+
+def test_latency_breakdown_by_stage(run_once):
+    """Decompose the figure into the paper's figure-4 datapath stages."""
+
+    def both():
+        return (
+            measure_latency_breakdown(eisa_prototype),
+            measure_latency_breakdown(next_generation),
+        )
+
+    eisa, nextgen = run_once(both)
+    table = Table(
+        ["datapath stage", "EISA prototype (ns)", "next-gen (ns)"],
+        title="Latency breakdown: one automatic-update store",
+    )
+    labels = {
+        "packetized": "store -> snoop+NIPT+packetize",
+        "injected": "outgoing FIFO -> mesh injection",
+        "accepted": "mesh transit -> incoming FIFO",
+        "delivered": "NIPT check -> memory deposit",
+    }
+    for stage, label in labels.items():
+        table.add(label, eisa["delta:" + stage], nextgen["delta:" + stage])
+    table.add("TOTAL", eisa["total"], nextgen["total"])
+    print()
+    print(table)
+    # The deposit stage is where bypassing EISA pays off.
+    assert nextgen["delta:delivered"] < eisa["delta:delivered"]
+
+
+def test_next_gen_improves_on_prototype(run_once):
+    def both():
+        return (
+            measure_store_latency(eisa_prototype),
+            measure_store_latency(next_generation),
+        )
+
+    eisa, nextgen = run_once(both)
+    assert nextgen < eisa

@@ -1,0 +1,100 @@
+"""Ablation A4 -- separating protection from data movement.
+
+Section 2: "Setting up a mapping is necessarily slow, since it requires
+protection to be verified in the operating system kernel.  Once a mapping
+has been set up, communication can proceed without any operating-system
+involvement.  The common case, communication, is fast; the rare case,
+mapping, is slow but ensures protection."
+
+This bench measures the real ``map`` system call (trap + local kernel +
+kernel-to-kernel RPC + NIPT installation) against the per-send user-level
+cost, and prints the amortisation: effective overhead per message as the
+mapping is reused.
+"""
+
+from repro.cpu import Asm, Mem, R1
+from repro.machine.cluster import Cluster
+from repro.analysis import Table
+from repro.memsys.address import PAGE_SIZE
+from repro.os.syscalls import MapArgs, Syscall
+
+VARGS = 0x0020_0000
+VSEND = 0x0030_0000
+VRECV = 0x0040_0000
+
+
+def measure_map_and_send():
+    """Returns (map_ns, map_kernel_instructions, send_ns_per_store)."""
+    cluster = Cluster(2, 1)
+    kernel0, kernel1 = cluster.kernel(0), cluster.kernel(1)
+
+    recv_asm = Asm("receiver")
+    recv_asm.syscall(Syscall.EXIT)
+    receiver = cluster.spawn(1, "receiver", recv_asm.build())
+    kernel1.alloc_region(receiver, VRECV, PAGE_SIZE)
+
+    nstores = 64
+    asm = Asm("sender")
+    asm.region_begin("map-call")
+    asm.mov(R1, VARGS)
+    asm.syscall(Syscall.MAP)
+    asm.region_end("map-call")
+    asm.region_begin("stores")
+    for i in range(nstores):
+        asm.mov(Mem(disp=VSEND + 4 * i), i + 1)
+    asm.region_end("stores")
+    asm.syscall(Syscall.EXIT)
+    sender = cluster.spawn(0, "sender", asm.build())
+    kernel0.alloc_region(sender, VSEND, PAGE_SIZE)
+    kernel0.alloc_region(sender, VARGS, PAGE_SIZE)
+    kernel0.write_user_words(
+        sender, VARGS,
+        MapArgs(VSEND, PAGE_SIZE, 1, receiver.pid, VRECV, 0).to_words(),
+    )
+
+    # Timestamp the syscall and store phases via bus probes.
+    marks = {}
+    node0 = cluster.nodes[0]
+    node0.bus.add_snooper(
+        lambda t: marks.setdefault("first_store", t.time)
+        if t.kind == "write"
+        and t.originator == node0.cache.name
+        and sender.page_table.translate_nofault(VSEND) == t.addr
+        else None
+    )
+    cluster.start()
+    start_ns = None
+    cluster.run()
+    map_kernel_instr = kernel0.kernel_instructions + kernel1.kernel_instructions
+    map_ns = marks["first_store"]  # everything before the first store
+    total_ns = cluster.sim.now
+    send_ns = (total_ns - map_ns) / nstores
+    return map_ns, map_kernel_instr, send_ns, nstores
+
+
+def test_map_cost_amortisation(run_once):
+    map_ns, kernel_instr, send_ns, nstores = run_once(measure_map_and_send)
+    table = Table(
+        ["operation", "cost"],
+        title="A4: protection (map) vs data movement (send)",
+    )
+    table.add("map system call (end to end)", "%d ns" % map_ns)
+    table.add("kernel instructions for map", kernel_instr)
+    table.add("one user-level send (store)", "%.0f ns" % send_ns)
+    table.add("map/send ratio", "%.0fx" % (map_ns / send_ns))
+    print()
+    print(table)
+
+    amort = Table(
+        ["messages over one mapping", "effective overhead per message (ns)"],
+        title="A4: amortisation of the mapping cost",
+    )
+    for n in (1, 10, 100, 1000, 10000):
+        amort.add(n, "%.0f" % ((map_ns + n * send_ns) / n))
+    print()
+    print(amort)
+
+    # The paper's argument holds when mapping costs orders of magnitude
+    # more than a send -- and becomes irrelevant with reuse.
+    assert map_ns / send_ns > 50
+    assert kernel_instr > 1000

@@ -1,0 +1,52 @@
+"""Ablation A3 -- mesh scaling: latency vs hop count and system size.
+
+Section 1's premise: "hardware communication latencies are almost
+negligible" compared to software.  The series below shows the per-hop
+routing increment is tens of nanoseconds, so end-to-end latency barely
+moves between a 2x2 and an 8x8 machine.
+"""
+
+from repro.analysis import Table
+from repro.analysis.latency import measure_latency_vs_hops, measure_store_latency
+from repro.machine.config import eisa_prototype
+
+
+def test_latency_vs_hops(run_once):
+    by_hops = run_once(measure_latency_vs_hops, eisa_prototype, 4, 4)
+    table = Table(
+        ["hops", "latency (ns)"],
+        title="A3: store-to-remote-memory latency vs hop count (4x4 mesh)",
+    )
+    hops = sorted(by_hops)
+    for h in hops:
+        table.add(h, by_hops[h])
+    print()
+    print(table)
+    values = [by_hops[h] for h in hops]
+    assert values == sorted(values)
+    per_hop = (values[-1] - values[0]) / (hops[-1] - hops[0])
+    print("per-hop increment: %.0f ns" % per_hop)
+    assert per_hop < 100  # routing is tens of ns per hop
+
+
+def test_latency_vs_system_size(run_once):
+    sizes = [(2, 2), (4, 4), (8, 8)]
+
+    def experiment():
+        return {
+            (w, h): measure_store_latency(eisa_prototype, w, h)
+            for w, h in sizes
+        }
+
+    results = run_once(experiment)
+    table = Table(
+        ["mesh", "corner-to-corner latency (ns)"],
+        title="A3: system-size scaling",
+    )
+    for (w, h) in sizes:
+        table.add("%dx%d" % (w, h), results[(w, h)])
+    print()
+    print(table)
+    # Even 8x8 corner-to-corner stays within the paper's 2 us envelope.
+    assert results[(8, 8)] < 2000
+    assert results[(2, 2)] <= results[(4, 4)] <= results[(8, 8)]

@@ -1,0 +1,92 @@
+"""Ablation A7 -- sustained message rate: SHRIMP csend/crecv vs kernel DMA.
+
+Small messages are where per-message software overhead dominates; the
+paper's whole argument is that moving it out of the kernel changes the
+achievable message rate by an order of magnitude.  Streams of pipelined
+messages through both implementations make that concrete.
+"""
+
+from repro.analysis import Table
+from repro.cpu import Context
+from repro.machine import ShrimpSystem
+from repro.msg import nx2
+from repro.msg.nx2_baseline import BaselineSystem
+from repro.sim.process import Process
+
+STACK = 0x5F000
+BUF_S = 0x5A000
+BUF_R = 0x5C000
+TYPE = 7
+NMSGS = 40
+
+
+def shrimp_rate(nbytes):
+    """Messages/second for a pipelined stream of NMSGS messages."""
+    system = ShrimpSystem(2, 1)
+    system.start()
+    a, b = system.nodes
+    nx2.setup_connection(system, a, b, msg_type=TYPE)
+    a.memory.write_words(BUF_S, [0x11] * (nbytes // 4))
+    sender = nx2.sender_program(TYPE, BUF_S, nbytes, b.node_id,
+                                repeats=NMSGS)
+    receiver = nx2.receiver_program(TYPE, BUF_R, 512, repeats=NMSGS)
+    Process(system.sim,
+            a.cpu.run_to_halt(sender.build(), Context(stack_top=STACK)),
+            "s").start()
+    Process(system.sim,
+            b.cpu.run_to_halt(receiver.build(), Context(stack_top=STACK)),
+            "r").start()
+    system.run()
+    return NMSGS / system.sim.now * 1e9
+
+
+def baseline_rate(nbytes):
+    system = ShrimpSystem(2, 1)
+    baseline = BaselineSystem(system)
+    payload = [0x22] * (nbytes // 4)
+
+    def sender():
+        for _ in range(NMSGS):
+            yield from baseline.nic(0).csend(TYPE, payload, dest_node=1)
+
+    def receiver():
+        for _ in range(NMSGS):
+            yield from baseline.nic(1).crecv(TYPE)
+
+    Process(system.sim, sender(), "s").start()
+    Process(system.sim, receiver(), "r").start()
+    system.sim.run_until_idle()
+    return NMSGS / system.sim.now * 1e9
+
+
+def test_message_rate_comparison(run_once):
+    sizes = [4, 64, 256]
+
+    def experiment():
+        return (
+            {size: shrimp_rate(size) for size in sizes},
+            {size: baseline_rate(size) for size in sizes},
+        )
+
+    shrimp, baseline = run_once(experiment)
+    table = Table(
+        ["message bytes", "SHRIMP (msg/s)", "kernel DMA (msg/s)", "ratio"],
+        title="A7: sustained csend/crecv message rate",
+    )
+    for size in sizes:
+        table.add(size, "%.0f" % shrimp[size], "%.0f" % baseline[size],
+                  "%.1fx" % (shrimp[size] / baseline[size]))
+    print()
+    print(table)
+    # User-level communication wins clearly on small messages...
+    assert shrimp[4] > 2 * baseline[4]
+    # ...and the advantage narrows as payload costs take over.
+    assert shrimp[4] / baseline[4] > shrimp[256] / baseline[256]
+
+
+def test_shrimp_small_message_rate_exceeds_100k(run_once):
+    """Section 1's point in rate form: a few instructions per message
+    means 10^5-10^6 messages/second, unreachable through a kernel."""
+    rate = run_once(shrimp_rate, 4)
+    print("\nSHRIMP 4-byte message rate: %.0f msg/s" % rate)
+    assert rate > 100_000

@@ -1,0 +1,34 @@
+"""Table 1 -- software overhead of message-passing primitives.
+
+Regenerates the paper's Table 1: instruction counts for each primitive,
+measured by executing the primitive's real assembly on the simulated
+two-node testbed and reading the CPU's retired-instruction regions.
+"""
+
+from repro.analysis import Table, run_table1
+
+
+def test_table1_software_overhead(run_once):
+    rows = run_once(run_table1)
+    table = Table(
+        ["Message Passing Primitive", "Paper (instr)", "Measured (instr)"],
+        title="Table 1: Software overhead of message passing primitives",
+    )
+    for row in rows:
+        table.add(
+            row.primitive,
+            "%d (%d+%d)" % (row.paper_total, row.paper_send, row.paper_recv),
+            "%d (%d+%d)"
+            % (
+                row.measured_send + row.measured_recv,
+                row.measured_send,
+                row.measured_recv,
+            ),
+        )
+    print()
+    print(table)
+    for row in rows:
+        assert (row.measured_send, row.measured_recv) == (
+            row.paper_send,
+            row.paper_recv,
+        ), "%s diverges from the paper" % row.primitive

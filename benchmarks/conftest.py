@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(DESIGN.md has the index).  The simulations are deterministic, so each
+experiment runs once inside ``benchmark.pedantic``; the printed tables are
+the deliverable, and the assertions pin the paper's *shape* (who wins, by
+roughly what factor).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

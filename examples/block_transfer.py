@@ -1,0 +1,76 @@
+"""Deliberate-update block transfer: user-level DMA (paper section 4.3).
+
+Data written to a deliberate-update page stays local until the process
+issues an explicit send -- a single locked CMPXCHG to the page's command
+address, retried until the NIC's one DMA engine is free.  The engine pulls
+the data from memory and streams it out; the application polls completion
+with one read of the same command address.  No kernel anywhere.
+
+This example transfers a 64 KB buffer (16 per-page DMA commands issued by
+the paper's send macro), overlapping command preparation with the draining
+transfer, and reports the achieved bandwidth on both hardware
+configurations.
+
+Run:  python examples/block_transfer.py
+"""
+
+from repro.cpu import Context
+from repro.machine import ShrimpSystem, mapping
+from repro.machine.config import eisa_prototype, next_generation
+from repro.memsys.address import PAGE_SIZE, page_number
+from repro.memsys.cache import CachePolicy
+from repro.msg import deliberate
+from repro.msg.layout import PairLayout as L
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+NBYTES = 64 * 1024
+BUF_SRC = 0x40000  # dedicated 64KB windows clear of the scratch pages
+BUF_DST = 0x80000
+
+
+def transfer(params_factory, label):
+    system = ShrimpSystem(2, 1, params_factory)
+    system.start()
+    sender, receiver = system.nodes
+    npages = NBYTES // PAGE_SIZE
+    mapping.establish(sender, BUF_SRC, receiver, BUF_DST, NBYTES,
+                      MappingMode.DELIBERATE)
+    sender.mmu.set_policy(page_number(L.PRIV), CachePolicy.WRITE_THROUGH)
+
+    payload = [(7 * i + 3) & 0xFFFFFFFF for i in range(NBYTES // 4)]
+    sender.memory.write_words(BUF_SRC, payload)
+
+    asm = deliberate.sender_program(system, sender, NBYTES, buf_addr=BUF_SRC)
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "sender",
+    ).start()
+    system.run()
+
+    elapsed_ns = system.sim.now
+    received = receiver.memory.read_words(BUF_DST, NBYTES // 4)
+    assert received == payload, "payload corrupted!"
+    bandwidth = NBYTES / elapsed_ns * 1000
+    print("%-15s %2d page DMA commands, %6.1f us, %5.1f MB/s"
+          % (label, npages, elapsed_ns / 1000, bandwidth))
+    print("%-15s sender CPU instructions: %d (init) + polling checks"
+          % ("", sender.cpu.counts.region("send")
+             + sender.cpu.counts.region("send-multi")))
+    return bandwidth
+
+
+def main():
+    print("Transferring %d KB with the deliberate-update send macro:\n"
+          % (NBYTES // 1024))
+    eisa = transfer(eisa_prototype, "EISA prototype")
+    nextgen = transfer(next_generation, "next-gen")
+    print("\nEISA-bus bottleneck: %.1f MB/s -> %.1f MB/s when bypassed "
+          "(paper: 33 -> ~70 MB/s)" % (eisa, nextgen))
+    assert nextgen > 1.8 * eisa
+    print("OK: block transfer complete and verified on both configurations.")
+
+
+if __name__ == "__main__":
+    main()

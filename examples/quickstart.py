@@ -1,0 +1,60 @@
+"""Quickstart: map once, then communicate with plain stores.
+
+Builds a two-node SHRIMP system, establishes a virtual memory mapping from
+node 0 to node 1, and shows the paper's central idea: after the one-time
+``map``, an ordinary store instruction on the sender propagates into the
+receiver's physical memory with no operating-system involvement -- the
+network interface snoops the store off the memory bus, packetizes it, and
+the receiving interface deposits it by DMA.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cpu import Asm, Context, Mem
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+SRC = 0x10000  # a physical page on node 0
+DST = 0x20000  # a physical page on node 1
+
+
+def main():
+    # A 4x4 mesh of nodes -- the 16-node system of the paper's section 5.
+    system = ShrimpSystem(4, 4)
+    system.start()
+    sender, receiver = system.nodes[0], system.nodes[15]
+
+    # The one-time, protection-checked step: map a page of the sender's
+    # memory onto a page of the receiver's, automatic-update mode.
+    mapping.establish(sender, SRC, receiver, DST, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+
+    # From here on, communication is just store instructions.
+    message = [0x53, 0x48, 0x52, 0x49, 0x4D, 0x50]  # "SHRIMP"
+    program = Asm("quickstart-sender")
+    for i, word in enumerate(message):
+        program.mov(Mem(disp=SRC + 4 * i), word)
+    program.halt()
+
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(program.build(), Context(stack_top=0x3F000)),
+        "sender",
+    ).start()
+    system.run()
+
+    received = receiver.memory.read_words(DST, len(message))
+    print("sent     :", message)
+    print("received :", received)
+    print("packets delivered to node 15:",
+          receiver.nic.packets_delivered.value)
+    print("sender instructions executed:", sender.cpu.counts.total,
+          "(no syscalls, no kernel)")
+    assert received == message
+    print("OK: stores on node 0 appeared in node 15's memory.")
+
+
+if __name__ == "__main__":
+    main()

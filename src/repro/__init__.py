@@ -1,0 +1,34 @@
+"""SHRIMP virtual memory-mapped network interface -- full-system reproduction.
+
+Public entry points:
+
+- :class:`repro.machine.ShrimpSystem` -- the bare machine: nodes, buses,
+  NICs, mesh.  :mod:`repro.machine.mapping` establishes hardware-level
+  mappings directly.
+- :class:`repro.machine.Cluster` -- machine + kernels + schedulers; the
+  full software stack with the ``map`` system call.
+- :mod:`repro.msg` -- the paper's message-passing primitives as runnable
+  assembly (single/double buffering, deliberate update, NX/2
+  csend/crecv, FIFO channels) and the kernel-DMA baseline.
+- :mod:`repro.shmem` -- shared memory on PRAM consistency: regions, a
+  token lock and a chain barrier.
+- :mod:`repro.analysis` -- the measurement harness reproducing the
+  paper's evaluation (Table 1, latency, bandwidth, breakdowns).
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "sim",
+    "mesh",
+    "memsys",
+    "cpu",
+    "os",
+    "nic",
+    "msg",
+    "shmem",
+    "machine",
+    "analysis",
+]

@@ -1,0 +1,121 @@
+"""Regenerate the paper's whole evaluation from the command line.
+
+    python -m repro.analysis            # everything
+    python -m repro.analysis table1     # just Table 1
+    python -m repro.analysis latency bandwidth
+
+Sections: table1, latency, bandwidth, breakdown, comparison.
+"""
+
+import sys
+
+from repro.analysis.bandwidth import bandwidth_sweep
+from repro.analysis.breakdown import measure_latency_breakdown
+from repro.analysis.latency import measure_latency_vs_hops, measure_store_latency
+from repro.analysis.report import Table
+from repro.analysis.table1 import run_table1
+from repro.machine.config import eisa_prototype, next_generation
+
+
+def show_table1():
+    table = Table(
+        ["Message Passing Primitive", "Paper", "Measured"],
+        title="Table 1: software overhead (instructions)",
+    )
+    for row in run_table1():
+        table.add(
+            row.primitive,
+            "%d (%d+%d)" % (row.paper_total, row.paper_send, row.paper_recv),
+            "%d (%d+%d)" % (
+                row.measured_send + row.measured_recv,
+                row.measured_send,
+                row.measured_recv,
+            ),
+        )
+    print(table)
+
+
+def show_latency():
+    table = Table(
+        ["configuration", "paper", "measured (ns)"],
+        title="Section 5.1: store-to-remote-memory latency (16 nodes)",
+    )
+    table.add("EISA prototype", "< 2000 ns",
+              measure_store_latency(eisa_prototype))
+    table.add("next-generation", "< 1000 ns",
+              measure_store_latency(next_generation))
+    print(table)
+    hops = measure_latency_vs_hops()
+    series = Table(["hops", "latency (ns)"], title="Latency vs hop count")
+    for h in sorted(hops):
+        series.add(h, hops[h])
+    print()
+    print(series)
+
+
+def show_bandwidth():
+    sizes = [256, 1024, 4096, 16384, 65536]
+    eisa = bandwidth_sweep(sizes, eisa_prototype)
+    nextgen = bandwidth_sweep(sizes, next_generation)
+    table = Table(
+        ["transfer bytes", "EISA MB/s (peak 33)", "next-gen MB/s (~70)"],
+        title="Section 5.1: deliberate-update bandwidth",
+    )
+    for size in sizes:
+        table.add(size, "%.1f" % eisa[size], "%.1f" % nextgen[size])
+    print(table)
+
+
+def show_breakdown():
+    eisa = measure_latency_breakdown(eisa_prototype)
+    nextgen = measure_latency_breakdown(next_generation)
+    table = Table(
+        ["stage", "EISA (ns)", "next-gen (ns)"],
+        title="Latency breakdown by datapath stage",
+    )
+    for stage in ("packetized", "injected", "accepted", "delivered"):
+        table.add(stage, eisa["delta:" + stage], nextgen["delta:" + stage])
+    table.add("TOTAL", eisa["total"], nextgen["total"])
+    print(table)
+
+
+def show_comparison():
+    from repro.msg.nx2_baseline import BaselineParams
+
+    params = BaselineParams()
+    table = Table(
+        ["implementation", "csend", "crecv", "total"],
+        title="Section 5.2: SHRIMP vs kernel-DMA NX/2 (instructions)",
+    )
+    table.add("SHRIMP user-level", 73, 78, 151)
+    table.add("iPSC/2 NX/2 fast path", params.csend_instructions,
+              params.crecv_instructions,
+              params.csend_instructions + params.crecv_instructions)
+    print(table)
+
+
+SECTIONS = {
+    "table1": show_table1,
+    "latency": show_latency,
+    "bandwidth": show_bandwidth,
+    "breakdown": show_breakdown,
+    "comparison": show_comparison,
+}
+
+
+def main(argv):
+    requested = argv or list(SECTIONS)
+    unknown = [name for name in requested if name not in SECTIONS]
+    if unknown:
+        print("unknown section(s): %s" % ", ".join(unknown))
+        print("available: %s" % ", ".join(SECTIONS))
+        return 2
+    for i, name in enumerate(requested):
+        if i:
+            print()
+        SECTIONS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,74 @@
+"""The section 5.1 peak-bandwidth experiment.
+
+Deliberate-update block transfers, driven by the real user-level send
+macro (per-page DMA commands with preparation overlapped against the
+draining transfer).  On the EISA prototype the receiver's EISA burst rate
+(33 MB/s) is the bottleneck; the next-generation interface raises the
+ceiling to about 70 MB/s, bounded by the source DMA engine.
+"""
+
+from repro.cpu import Context
+from repro.machine.config import eisa_prototype
+from repro.machine.system import ShrimpSystem
+from repro.machine import mapping
+from repro.msg import deliberate
+from repro.msg.layout import PairLayout as L
+from repro.nic.nipt import MappingMode
+from repro.memsys.address import PAGE_SIZE
+from repro.sim.process import Process
+
+# Dedicated large-buffer region: PairLayout's SBUF0 window is page scale
+# and would overlap the scratch pages for multi-page transfers.
+BUF_SRC = 0x40000
+BUF_DST = 0x80000
+
+
+def measure_deliberate_bandwidth(nbytes, params_factory=eisa_prototype):
+    """Transfer ``nbytes`` with the deliberate-update macro.
+
+    Returns ``(bandwidth_mbps, elapsed_ns)``: bytes moved over the time
+    from the first source-side activity to the last word deposited in the
+    destination's memory.
+    """
+    if nbytes % 4:
+        raise ValueError("transfer size must be a word multiple")
+    npages = -(-nbytes // PAGE_SIZE)
+    system = ShrimpSystem(2, 1, params_factory)
+    system.start()
+    sender, receiver = system.nodes
+    mapping.establish(
+        sender, BUF_SRC, receiver, BUF_DST, npages * PAGE_SIZE,
+        MappingMode.DELIBERATE,
+    )
+    # Scratch pages used by the macro.
+    from repro.memsys.address import page_number
+    from repro.memsys.cache import CachePolicy
+
+    sender.mmu.set_policy(page_number(L.PRIV), CachePolicy.WRITE_THROUGH)
+    sender.memory.write_words(BUF_SRC, [0xA5A5A5A5] * (nbytes // 4))
+
+    times = {}
+    last_byte_addr = BUF_DST + nbytes - 4
+    receiver.bus.add_snooper(
+        lambda t: times.__setitem__("end", t.time)
+        if t.kind == "write" and t.end_addr() > last_byte_addr else None
+    )
+
+    asm = deliberate.sender_program(system, sender, nbytes, buf_addr=BUF_SRC)
+    start = system.sim.now
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "bw-probe",
+    ).start()
+    system.run()
+    elapsed = times["end"] - start
+    return nbytes / elapsed * 1000.0, elapsed
+
+
+def bandwidth_sweep(sizes, params_factory=eisa_prototype):
+    """Bandwidth for each transfer size; returns {size: MB/s}."""
+    return {
+        size: measure_deliberate_bandwidth(size, params_factory)[0]
+        for size in sizes
+    }

@@ -1,0 +1,68 @@
+"""Per-stage latency breakdown of the automatic-update datapath.
+
+Decomposes the section 5.1 latency figure into the stages of the paper's
+figure 4 walkthrough: store on the source bus, packetize into the Outgoing
+FIFO, injection into the mesh, acceptance into the Incoming FIFO, and the
+final DMA deposit into destination memory.
+"""
+
+from collections import OrderedDict
+
+from repro.cpu import Asm, Context, Mem
+from repro.machine.config import eisa_prototype
+from repro.machine.system import ShrimpSystem
+from repro.machine import mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+SRC = 0x10000
+DST = 0x20000
+
+STAGES = ("store", "packetized", "injected", "accepted", "delivered")
+
+
+def measure_latency_breakdown(params_factory=eisa_prototype, width=4,
+                              height=4, src_node=0, dest_node=None):
+    """One store; returns OrderedDict stage -> absolute timestamp (ns),
+    plus per-stage deltas under the ``"delta:"`` keys."""
+    system = ShrimpSystem(width, height, params_factory)
+    system.start()
+    if dest_node is None:
+        dest_node = system.node_count - 1
+    sender = system.nodes[src_node]
+    receiver = system.nodes[dest_node]
+    mapping.establish(sender, SRC, receiver, DST, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+
+    marks = {}
+    sender.bus.add_snooper(
+        lambda t: marks.setdefault("store", t.time)
+        if t.kind == "write" and t.addr == SRC else None
+    )
+
+    def hook(stage, packet, now):
+        marks.setdefault(stage, now)
+
+    sender.nic.stage_hook = hook
+    receiver.nic.stage_hook = hook
+
+    asm = Asm("breakdown-probe")
+    asm.mov(Mem(disp=SRC), 0xF00D)
+    asm.halt()
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "probe",
+    ).start()
+    system.run()
+
+    result = OrderedDict()
+    previous = None
+    for stage in STAGES:
+        result[stage] = marks[stage]
+        if previous is not None:
+            result["delta:" + stage] = marks[stage] - previous
+        previous = marks[stage]
+    result["total"] = marks["delivered"] - marks["store"]
+    return result

@@ -1,0 +1,66 @@
+"""The section 5.1 latency experiment.
+
+"We define communication latency to be the time between a write operation
+by the sending CPU, and the arrival of the written data in the destination
+memory."  Measured with single-write automatic update on a 16-node system
+with no contention: just under 2 us on the EISA prototype, under 1 us
+projected for the next-generation interface.
+"""
+
+from repro.cpu import Asm, Context, Mem
+from repro.machine.config import eisa_prototype
+from repro.machine.system import ShrimpSystem
+from repro.machine import mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+SRC = 0x10000
+DST = 0x20000
+
+
+def measure_store_latency(params_factory=eisa_prototype, width=4, height=4,
+                          src_node=0, dest_node=None):
+    """One store, store-to-remote-memory latency in nanoseconds."""
+    system = ShrimpSystem(width, height, params_factory)
+    system.start()
+    if dest_node is None:
+        dest_node = system.node_count - 1
+    sender = system.nodes[src_node]
+    receiver = system.nodes[dest_node]
+    mapping.establish(sender, SRC, receiver, DST, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+    times = {}
+    sender.bus.add_snooper(
+        lambda t: times.setdefault("store", t.time)
+        if t.kind == "write" and t.addr == SRC else None
+    )
+    receiver.bus.add_snooper(
+        lambda t: times.setdefault("arrive", t.time)
+        if t.kind == "write" and t.addr == DST else None
+    )
+    asm = Asm("latency-probe")
+    asm.mov(Mem(disp=SRC), 0xBEEF)
+    asm.halt()
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "probe",
+    ).start()
+    system.run()
+    return times["arrive"] - times["store"]
+
+
+def measure_latency_vs_hops(params_factory=eisa_prototype, width=4, height=4):
+    """Latency for each hop distance from node 0 (mesh scaling series)."""
+    results = {}
+    probe_system = ShrimpSystem(width, height, params_factory)
+    targets = {}
+    for node_id in range(1, probe_system.node_count):
+        hops = probe_system.backplane.hop_count(0, node_id)
+        targets.setdefault(hops, node_id)
+    for hops, node_id in sorted(targets.items()):
+        results[hops] = measure_store_latency(
+            params_factory, width, height, 0, node_id
+        )
+    return results

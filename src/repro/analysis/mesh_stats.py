@@ -1,0 +1,45 @@
+"""Mesh utilization statistics and text heatmaps.
+
+Routers already count packets and flits; this module aggregates them into
+per-router views of where traffic concentrated -- useful for contention
+experiments and for eyeballing dimension-ordered routing's hot rows.
+"""
+
+
+def router_packet_counts(backplane):
+    """{(x, y): packets routed} for every router."""
+    return {
+        coords: router.packets_routed.value
+        for coords, router in backplane.routers.items()
+    }
+
+
+def router_flit_counts(backplane):
+    return {
+        coords: router.flits_forwarded.value
+        for coords, router in backplane.routers.items()
+    }
+
+
+def total_flits(backplane):
+    return sum(router_flit_counts(backplane).values())
+
+
+def hottest_router(backplane):
+    """(coords, packet count) of the busiest router."""
+    counts = router_packet_counts(backplane)
+    coords = max(counts, key=counts.get)
+    return coords, counts[coords]
+
+
+def heatmap(backplane, counts=None, cell_width=6):
+    """A text heatmap of per-router packet counts, row-major."""
+    counts = counts or router_packet_counts(backplane)
+    lines = []
+    for y in range(backplane.height):
+        cells = [
+            str(counts.get((x, y), 0)).rjust(cell_width)
+            for x in range(backplane.width)
+        ]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Per-packet latency statistics.
+
+A :class:`PacketStats` collector attaches to NIC stage hooks across a
+system and records, for every delivered packet, the time from
+packetization to deposit.  Used by the contention benchmark (latency
+under background load) and available for any experiment that needs a
+distribution rather than a single probe.
+"""
+
+import math
+
+
+class PacketStats:
+    """Collects per-packet datapath latencies across a set of nodes."""
+
+    def __init__(self, system):
+        self.system = system
+        self._start_ns = {}  # id(packet) -> packetized timestamp
+        self.latencies_ns = []
+        for node in system.nodes:
+            previous = node.nic.stage_hook
+            node.nic.stage_hook = self._make_hook(previous)
+
+    def _make_hook(self, previous):
+        def hook(stage, packet, now):
+            if previous is not None:
+                previous(stage, packet, now)
+            if stage == "packetized":
+                self._start_ns[id(packet)] = now
+            elif stage == "delivered":
+                start = self._start_ns.pop(id(packet), None)
+                if start is not None:
+                    self.latencies_ns.append(now - start)
+
+        return hook
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def count(self):
+        return len(self.latencies_ns)
+
+    def mean(self):
+        if not self.latencies_ns:
+            return None
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+    def percentile(self, p):
+        """p in [0, 100]; nearest-rank percentile."""
+        if not self.latencies_ns:
+            return None
+        ordered = sorted(self.latencies_ns)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def maximum(self):
+        return max(self.latencies_ns) if self.latencies_ns else None
+
+    def histogram(self, bucket_ns=500, max_buckets=12):
+        """(lower_bound_ns, count) pairs for a quick text histogram."""
+        if not self.latencies_ns:
+            return []
+        buckets = {}
+        for value in self.latencies_ns:
+            buckets[value // bucket_ns] = buckets.get(value // bucket_ns, 0) + 1
+        rows = sorted(buckets.items())[:max_buckets]
+        return [(index * bucket_ns, count) for index, count in rows]

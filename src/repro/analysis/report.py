@@ -1,0 +1,41 @@
+"""Plain-text experiment tables (paper value vs measured value)."""
+
+
+def format_row(cells, widths):
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+class Table:
+    """A fixed-width text table for bench output and EXPERIMENTS.md."""
+
+    def __init__(self, headers, title=None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add(self, *cells):
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self):
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(format_row(self.headers, widths))
+        lines.append(format_row(["-" * w for w in widths], widths))
+        for row in self.rows:
+            lines.append(format_row(row, widths))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

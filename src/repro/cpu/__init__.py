@@ -1,0 +1,50 @@
+"""The node CPU: an i486/Pentium-flavoured register machine.
+
+The paper measures software overhead in *CPU instructions* (section 5.2),
+so the CPU model is instruction-exact: every message-passing primitive in
+:mod:`repro.msg` is written in this ISA and executed here, and the counts
+reported by the benchmarks are the counts of instructions actually retired.
+
+- :mod:`~repro.cpu.isa` -- operands, flags and instruction classes.
+- :mod:`~repro.cpu.assembler` -- a small assembler for building programs.
+- :mod:`~repro.cpu.core` -- the CPU interpreter: executes programs against
+  the MMU/cache/bus, charges cycle time, counts instructions per region,
+  and takes device interrupts between instructions.
+"""
+
+from repro.cpu.isa import (
+    Reg,
+    Imm,
+    Mem,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    SP,
+    IsaError,
+)
+from repro.cpu.assembler import Asm, Program, AssemblyError
+from repro.cpu.core import Cpu, Context, PageFault, InstructionCounts
+
+__all__ = [
+    "Reg",
+    "Imm",
+    "Mem",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "SP",
+    "IsaError",
+    "Asm",
+    "Program",
+    "AssemblyError",
+    "Cpu",
+    "Context",
+    "PageFault",
+    "InstructionCounts",
+]

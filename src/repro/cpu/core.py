@@ -1,0 +1,265 @@
+"""The CPU interpreter.
+
+Executes :class:`~repro.cpu.assembler.Program` objects against the node's
+MMU, cache and bus.  The CPU is instruction-exact (every retired
+instruction is counted, attributable to open accounting regions) and
+cycle-approximate (each instruction charges its base cycles; memory
+operands additionally pay real simulated cache/bus time).
+
+Interrupts are taken between instructions: devices call
+:meth:`Cpu.post_interrupt` and the registered handler generator runs before
+the next instruction issues.  This models the paper's outgoing-FIFO flow
+control, where "the CPU is interrupted and waits until the FIFO drains"
+(section 4).
+
+Page faults raised by the MMU restart the faulting instruction after the
+kernel's fault handler runs -- used by the NIPT-consistency protocol, which
+marks unmapped-out pages read-only and re-establishes mappings on write
+faults (section 4.4).
+"""
+
+from repro.cpu.isa import Reg, WORD_MASK
+from repro.memsys.cache import CachePolicy
+from repro.sim.process import Timeout
+
+
+class PageFault(Exception):
+    """Raised by an MMU when a translation fails.
+
+    ``reason`` is one of ``not-present``, ``write-protected``, ``no-access``.
+    """
+
+    def __init__(self, vaddr, access, reason):
+        super().__init__("%s fault at %#x (%s)" % (access, vaddr, reason))
+        self.vaddr = vaddr
+        self.access = access
+        self.reason = reason
+
+
+class InstructionCounts:
+    """Retired-instruction accounting with named regions.
+
+    Regions are opened/closed by ``RegionMarker`` pseudo-instructions; a
+    retired instruction is charged to every currently open region.  This is
+    how the benchmarks attribute instructions to "send overhead" vs
+    "receive overhead" exactly as the paper's Table 1 does.
+    """
+
+    def __init__(self):
+        self.total = 0
+        self.by_region = {}
+        self.copy_words = 0
+        self._active = []
+
+    def open_region(self, name):
+        self._active.append(name)
+        self.by_region.setdefault(name, 0)
+
+    def close_region(self, name):
+        if name not in self._active:
+            raise RuntimeError("closing region %r that is not open" % name)
+        self._active.remove(name)
+
+    def on_retire(self):
+        self.total += 1
+        for name in self._active:
+            self.by_region[name] += 1
+
+    def region(self, name):
+        """Instructions retired inside region ``name`` (0 if never opened)."""
+        return self.by_region.get(name, 0)
+
+    def reset(self):
+        self.total = 0
+        self.by_region = {}
+        self.copy_words = 0
+        self._active = []
+
+
+class Context:
+    """Architectural state of one software thread (process)."""
+
+    def __init__(self, entry_pc=0, stack_top=0):
+        self.registers = {name: 0 for name in Reg.NAMES}
+        self.registers["sp"] = stack_top
+        self.flags = {"zf": False, "sf": False}
+        self.pc = entry_pc
+        self.halted = False
+
+    def copy(self):
+        other = Context()
+        other.registers = dict(self.registers)
+        other.flags = dict(self.flags)
+        other.pc = self.pc
+        other.halted = self.halted
+        return other
+
+
+class Cpu:
+    """One node CPU."""
+
+    def __init__(self, sim, cache, mmu, params, name="cpu"):
+        self.sim = sim
+        self.cache = cache
+        self.mmu = mmu
+        self.params = params
+        self.name = name
+        self.context = None
+        self.program = None
+        self.counts = InstructionCounts()
+        self.cycles_retired = 0
+        self._jump_target = None
+        self._pending_interrupts = []
+        self._interrupt_handlers = {}
+        self.syscall_handler = None  # set by the kernel
+        self.fault_handler = None  # set by the kernel
+        self._preempt = False
+
+    # -- register / flag access (used by instruction classes) -----------------
+
+    def get_reg(self, reg):
+        return self.context.registers[reg.name]
+
+    def set_reg(self, reg, value):
+        self.context.registers[reg.name] = value & WORD_MASK
+
+    @property
+    def flags(self):
+        return self.context.flags
+
+    def set_flags(self, result, signed_pair=None):
+        self.context.flags["zf"] = result == 0
+        if signed_pair is not None:
+            a, b = signed_pair
+            self.context.flags["sf"] = a < b
+        else:
+            self.context.flags["sf"] = bool(result & 0x80000000)
+
+    def effective_addr(self, mem_operand):
+        base = 0 if mem_operand.base is None else self.get_reg(mem_operand.base)
+        return (base + mem_operand.disp) & WORD_MASK
+
+    def jump_to(self, index):
+        self._jump_target = index
+
+    def next_pc(self):
+        return self.context.pc + 1
+
+    def halt(self):
+        self.context.halted = True
+
+    def preempt(self):
+        """Ask the current run_slice to return at the next boundary
+        (used by the YIELD syscall and gang-scheduling barriers)."""
+        self._preempt = True
+
+    # -- memory access ----------------------------------------------------------
+
+    def mem_read(self, vaddr):
+        paddr, policy = self.mmu.translate(vaddr, "read")
+        value = yield from self.cache.read(paddr, policy)
+        return value
+
+    def mem_write(self, vaddr, value):
+        paddr, policy = self.mmu.translate(vaddr, "write")
+        yield from self.cache.write(paddr, value, policy)
+
+    def mem_cmpxchg(self, vaddr, expected, new_value):
+        """Atomic compare-exchange.  Uncached pages go to the bus locked
+        (one tenure, as the NIC command protocol requires); cached pages
+        are atomic by construction on a single-CPU node."""
+        paddr, policy = self.mmu.translate(vaddr, "write")
+        if policy == CachePolicy.UNCACHED:
+            result = yield from self.cache.bus.cmpxchg(
+                paddr, expected, new_value, self.name
+            )
+            return result
+        old_value = yield from self.cache.read(paddr, policy)
+        if old_value == expected:
+            yield from self.cache.write(paddr, new_value, policy)
+            return old_value, True
+        return old_value, False
+
+    # -- interrupts ----------------------------------------------------------------
+
+    def register_interrupt_handler(self, cause, handler_factory):
+        """``handler_factory()`` must return a fresh generator per delivery."""
+        self._interrupt_handlers[cause] = handler_factory
+
+    def post_interrupt(self, cause):
+        """Queue an interrupt; it is taken before the next instruction."""
+        self._pending_interrupts.append(cause)
+
+    @property
+    def interrupts_pending(self):
+        return len(self._pending_interrupts)
+
+    def _take_interrupts(self):
+        while self._pending_interrupts:
+            cause = self._pending_interrupts.pop(0)
+            handler_factory = self._interrupt_handlers.get(cause)
+            if handler_factory is None:
+                raise RuntimeError(
+                    "%s: interrupt %r has no registered handler" % (self.name, cause)
+                )
+            yield from handler_factory()
+
+    # -- syscalls ----------------------------------------------------------------------
+
+    def trap_syscall(self, number):
+        if self.syscall_handler is None:
+            raise RuntimeError("%s: syscall %r with no kernel" % (self.name, number))
+        yield from self.syscall_handler(self, number)
+
+    # -- execution --------------------------------------------------------------------
+
+    def run_slice(self, program, context, max_ns=None):
+        """Generator: execute until halt or the timeslice expires.
+
+        Returns ``"halt"`` or ``"timeslice"``.  The context carries the
+        program counter, so a sliced-out process resumes where it stopped.
+        """
+        self.program = program
+        self.context = context
+        slice_start = self.sim.now
+        while True:
+            if context.halted:
+                return "halt"
+            yield from self._take_interrupts()
+            if self._preempt:
+                self._preempt = False
+                return "timeslice"
+            if max_ns is not None and self.sim.now - slice_start >= max_ns:
+                return "timeslice"
+            if context.pc >= len(program.code):
+                context.halted = True
+                return "halt"
+            instr = program.code[context.pc]
+            self._jump_target = None
+            if instr.cycles:
+                yield Timeout(instr.cycles * self.params.cpu_clock_ns)
+            try:
+                yield from instr.execute(self)
+            except PageFault as fault:
+                if self.fault_handler is None:
+                    raise
+                yield from self.fault_handler(self, fault)
+                continue  # restart the faulting instruction
+            if instr.counts:
+                self.counts.on_retire()
+                self.cycles_retired += instr.cycles
+            context.pc = (
+                self._jump_target if self._jump_target is not None
+                else context.pc + 1
+            )
+
+    def run_to_halt(self, program, context=None):
+        """Generator: convenience wrapper running one program to completion.
+
+        Returns the finished context.
+        """
+        if context is None:
+            context = Context()
+        result = yield from self.run_slice(program, context, max_ns=None)
+        assert result == "halt"
+        return context

@@ -1,0 +1,33 @@
+"""Machine assembly: SHRIMP nodes and whole multicomputers.
+
+- :mod:`~repro.machine.config` -- named hardware configurations: the
+  EISA-based prototype the paper measures, the projected next-generation
+  interface that masters the Xpress bus directly, and the two-node PRAM
+  testbed used for the paper's software-overhead experiments.
+- :mod:`~repro.machine.node` -- one node: CPU + cache + Xpress bus + DRAM +
+  EISA bridge + SHRIMP network interface.
+- :mod:`~repro.machine.system` -- a mesh of nodes.
+"""
+
+from repro.machine.config import (
+    eisa_prototype,
+    next_generation,
+    pram_testbed,
+    CONFIGS,
+)
+from repro.machine.node import ShrimpNode, BareMmu
+from repro.machine.system import ShrimpSystem
+from repro.machine import mapping
+from repro.machine.cluster import Cluster
+
+__all__ = [
+    "eisa_prototype",
+    "next_generation",
+    "pram_testbed",
+    "CONFIGS",
+    "ShrimpNode",
+    "BareMmu",
+    "ShrimpSystem",
+    "mapping",
+    "Cluster",
+]

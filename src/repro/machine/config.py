@@ -1,0 +1,55 @@
+"""Named hardware configurations.
+
+Each factory returns a fresh :class:`~repro.memsys.params.MachineParams`
+calibrated against the paper's stated numbers:
+
+- :func:`eisa_prototype` -- the system measured in section 5: incoming
+  data deposited over the EISA expansion bus (33 MB/s burst peak), giving
+  store-to-remote-memory latency just under 2 us and ~33 MB/s peak
+  deliberate-update bandwidth.
+- :func:`next_generation` -- the projected follow-on that "will bypass the
+  EISA bus and drive the Xpress memory bus directly, thus reducing the
+  latency to less than 1 us" and "achieving peak bandwidth of about
+  70 MB/s" (section 5.1).
+- :func:`pram_testbed` -- the restricted two-node environment the software
+  overheads were measured on: i486 PCs joined by Pipelined RAM interfaces
+  supporting only single-write automatic-update style mappings.
+"""
+
+from repro.memsys.params import MachineParams, MemsysParams, NicParams, MeshParams
+
+
+def eisa_prototype():
+    """The EISA-based prototype measured in the paper."""
+    return MachineParams()
+
+
+def next_generation():
+    """The projected Xpress-bus-mastering interface (section 5.1)."""
+    params = MachineParams()
+    params.nic.incoming_via_eisa = False
+    # The second-generation interface also trims the board-level pipeline.
+    params.nic.snoop_ns = 40
+    params.nic.packetize_ns = 50
+    return params
+
+
+def pram_testbed():
+    """The two-node i486 + Pipelined RAM measurement environment.
+
+    The PRAM interface supports only automatic-update-style mappings ("the
+    PRAM interface does not support deliberate-update transfers", section
+    5.2); software written against it runs unchanged on SHRIMP.  The i486
+    clock is slower than the Pentium's.
+    """
+    params = MachineParams()
+    params.memsys.cpu_clock_ns = 30  # 33 MHz i486
+    params.dram_bytes = 1024 * 1024
+    return params
+
+
+CONFIGS = {
+    "eisa-prototype": eisa_prototype,
+    "next-generation": next_generation,
+    "pram-testbed": pram_testbed,
+}

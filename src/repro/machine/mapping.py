@@ -1,0 +1,110 @@
+"""Hardware-level mapping setup shared by the kernel and hardware tests.
+
+This module performs the *physical* half of the ``map`` system call
+(paper section 3.1): given source and destination physical addresses, it
+
+- installs outgoing halves in the source node's NIPT (splitting pages as
+  needed -- section 3.2),
+- sets the mapped-in bits in the destination node's NIPT, and
+- configures the source pages for write-through caching so the NIC snooper
+  sees every store (automatic-update modes only).
+
+The operating-system layer (:mod:`repro.os`) wraps this with virtual
+address translation, protection checks and kernel coordination; hardware
+tests use it directly with physical addresses.
+"""
+
+from repro.memsys.address import (
+    PAGE_SIZE,
+    WORD_SIZE,
+    AddressError,
+    page_number,
+    page_offset,
+)
+from repro.memsys.cache import CachePolicy
+from repro.nic.nipt import MappingMode, OutgoingHalf
+
+
+class HardwareMapping:
+    """Record of one established physical mapping (for teardown)."""
+
+    def __init__(self, src_node, src_addr, dest_node, dest_addr, nbytes, mode):
+        self.src_node = src_node
+        self.src_addr = src_addr
+        self.dest_node = dest_node
+        self.dest_addr = dest_addr
+        self.nbytes = nbytes
+        self.mode = mode
+        self.src_pages = sorted(
+            {page_number(a) for a in range(src_addr, src_addr + nbytes, PAGE_SIZE)}
+            | {page_number(src_addr + nbytes - 1)}
+        )
+        self.dest_pages = sorted(
+            {page_number(a) for a in range(dest_addr, dest_addr + nbytes, PAGE_SIZE)}
+            | {page_number(dest_addr + nbytes - 1)}
+        )
+
+
+def establish(src_node, src_addr, dest_node, dest_addr, nbytes, mode):
+    """Create a one-way physical mapping between two nodes.
+
+    ``src_node``/``dest_node`` are :class:`~repro.machine.node.ShrimpNode`
+    objects; addresses are physical and word aligned; ``mode`` is a
+    :class:`~repro.nic.nipt.MappingMode`.  Returns a
+    :class:`HardwareMapping` usable with :func:`tear_down`.
+    """
+    if nbytes <= 0 or nbytes % WORD_SIZE:
+        raise AddressError("mapping size must be a positive word multiple")
+    if src_addr % WORD_SIZE or dest_addr % WORD_SIZE:
+        raise AddressError("mapping addresses must be word aligned")
+    if mode not in MappingMode.ALL:
+        raise ValueError("unknown mapping mode %r" % (mode,))
+
+    # Install one outgoing half per overlapped source page.
+    cursor = src_addr
+    remaining = nbytes
+    while remaining > 0:
+        page = page_number(cursor)
+        start = page_offset(cursor)
+        take = min(PAGE_SIZE - start, remaining)
+        half = OutgoingHalf(
+            src_start=start,
+            src_end=start + take,
+            dest_node=dest_node.node_id,
+            dest_addr=dest_addr + (cursor - src_addr),
+            mode=mode,
+        )
+        src_node.nic.nipt.map_out(page, half)
+        # Mapped-out pages are cached write-through so the NIC snoops every
+        # store (section 3.1).  This applies to all modes: the deliberate-
+        # update DMA engine also reads current data from DRAM.
+        src_node.mmu.set_policy(page, CachePolicy.WRITE_THROUGH)
+        cursor += take
+        remaining -= take
+
+    # Mark every overlapped destination page as mapped in.
+    mapping = HardwareMapping(src_node, src_addr, dest_node, dest_addr, nbytes, mode)
+    for page in mapping.dest_pages:
+        dest_node.nic.nipt.map_in(page)
+    return mapping
+
+
+def establish_bidirectional(node_a, addr_a, node_b, addr_b, nbytes, mode):
+    """Two complementary mappings, e.g. for shared flags (section 5.2)."""
+    forward = establish(node_a, addr_a, node_b, addr_b, nbytes, mode)
+    backward = establish(node_b, addr_b, node_a, addr_a, nbytes, mode)
+    return forward, backward
+
+
+def tear_down(mapping):
+    """Remove a mapping installed by :func:`establish`.
+
+    Clears the source NIPT halves and, if no other mapping targets them,
+    the destination mapped-in bits.  (The hardware keeps no reference
+    counts; the kernel layer is responsible for not unmapping pages still
+    used by another mapping -- tests exercise the simple case.)
+    """
+    for page in mapping.src_pages:
+        mapping.src_node.nic.nipt.unmap_out(page)
+    for page in mapping.dest_pages:
+        mapping.dest_node.nic.nipt.unmap_in(page)

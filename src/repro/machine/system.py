@@ -1,0 +1,47 @@
+"""A whole SHRIMP multicomputer: a mesh backplane full of nodes."""
+
+from repro.machine.config import eisa_prototype
+from repro.machine.node import ShrimpNode
+from repro.mesh.backplane import Backplane
+from repro.sim.engine import Simulator
+
+
+class ShrimpSystem:
+    """``width x height`` SHRIMP nodes on a Paragon-style backplane.
+
+    Typical use::
+
+        system = ShrimpSystem(4, 4)       # the 16-node system of section 5.1
+        system.start()
+        node_a, node_b = system.nodes[0], system.nodes[15]
+        ...
+        system.sim.run_until_idle()
+    """
+
+    def __init__(self, width, height, params_factory=eisa_prototype, sim=None):
+        self.sim = sim or Simulator()
+        self.params = params_factory()
+        self.backplane = Backplane(self.sim, self.params.mesh, width, height)
+        self.nodes = [
+            ShrimpNode(self.sim, node_id, self.backplane, self.params)
+            for node_id in range(self.backplane.node_count)
+        ]
+        self._started = False
+
+    @property
+    def node_count(self):
+        return len(self.nodes)
+
+    def start(self):
+        if self._started:
+            return
+        self._started = True
+        self.backplane.start()
+        for node in self.nodes:
+            node.start()
+
+    def node(self, node_id):
+        return self.nodes[node_id]
+
+    def run(self, until=None, max_events=20_000_000):
+        self.sim.run(until=until, max_events=max_events)

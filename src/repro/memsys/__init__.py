@@ -1,0 +1,58 @@
+"""Node memory system: DRAM, caches, Xpress memory bus, EISA expansion bus.
+
+This models the memory hierarchy of the Intel Xpress PC used as a SHRIMP
+node (paper section 3):
+
+- :mod:`~repro.memsys.address` -- page/word geometry and the physical
+  address map (DRAM region plus the NIC command-memory region).
+- :mod:`~repro.memsys.physmem` -- word-addressable physical DRAM.
+- :mod:`~repro.memsys.bus` -- the Xpress memory bus: arbitration, timed
+  read/write/locked-RMW transactions, address-decoded devices and snoopers.
+- :mod:`~repro.memsys.cache` -- a snooping CPU cache with per-access
+  write-through / write-back / uncacheable policy (policy is a property of
+  the *page*, supplied by the MMU on each access, as on the Pentium).
+- :mod:`~repro.memsys.eisa` -- the EISA expansion bus used by the prototype
+  NIC to deposit incoming data into main memory via burst DMA.
+- :mod:`~repro.memsys.params` -- all timing parameters in one place.
+"""
+
+from repro.memsys.address import (
+    PAGE_SIZE,
+    WORD_SIZE,
+    WORDS_PER_PAGE,
+    AddressError,
+    page_number,
+    page_offset,
+    page_base,
+    word_aligned,
+    split_words,
+    PhysicalAddressMap,
+)
+from repro.memsys.physmem import PhysicalMemory
+from repro.memsys.bus import XpressBus, Transaction, BusDevice, DramDevice, BusError
+from repro.memsys.cache import Cache, CachePolicy
+from repro.memsys.eisa import EisaBus
+from repro.memsys.params import MemsysParams
+
+__all__ = [
+    "PAGE_SIZE",
+    "WORD_SIZE",
+    "WORDS_PER_PAGE",
+    "AddressError",
+    "page_number",
+    "page_offset",
+    "page_base",
+    "word_aligned",
+    "split_words",
+    "PhysicalAddressMap",
+    "PhysicalMemory",
+    "XpressBus",
+    "Transaction",
+    "BusDevice",
+    "DramDevice",
+    "BusError",
+    "Cache",
+    "CachePolicy",
+    "EisaBus",
+    "MemsysParams",
+]

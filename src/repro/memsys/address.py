@@ -1,0 +1,116 @@
+"""Address geometry and the node physical address map.
+
+SHRIMP nodes use i486/Pentium 4-KB pages and 4-byte words.  The physical
+address space of a node contains two regions we care about:
+
+- ``[0, dram_bytes)`` -- real DRAM, one NIPT entry per page.
+- ``[command_base, command_base + dram_bytes)`` -- the NIC *command memory*
+  (paper section 4.2): a shadow region the same size as DRAM that addresses
+  no actual RAM.  Command page ``p`` controls physical page ``p``; the
+  correspondence is purely the fixed distance between the regions.
+"""
+
+PAGE_SIZE = 4096
+WORD_SIZE = 4
+WORDS_PER_PAGE = PAGE_SIZE // WORD_SIZE
+WORD_MASK = 0xFFFFFFFF
+
+
+class AddressError(Exception):
+    """Raised for out-of-range or misaligned addresses."""
+
+
+def page_number(addr):
+    """Physical/virtual page number containing ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def page_offset(addr):
+    """Byte offset of ``addr`` within its page."""
+    return addr % PAGE_SIZE
+
+
+def page_base(page):
+    """First byte address of page ``page``."""
+    return page * PAGE_SIZE
+
+
+def word_aligned(addr):
+    return addr % WORD_SIZE == 0
+
+
+def require_word_aligned(addr):
+    if addr % WORD_SIZE != 0:
+        raise AddressError("address %#x is not word aligned" % addr)
+
+
+def split_words(addr, nwords):
+    """Split a word run at ``addr`` into per-page (page, offset, count) runs.
+
+    Useful for DMA transfers that must not cross page boundaries: the NIC
+    limits each deliberate-update command to one page, and software breaks
+    larger transfers up (paper section 4.3).
+    """
+    require_word_aligned(addr)
+    if nwords < 0:
+        raise AddressError("negative word count %r" % (nwords,))
+    runs = []
+    remaining = nwords
+    cursor = addr
+    while remaining > 0:
+        offset = page_offset(cursor)
+        room = (PAGE_SIZE - offset) // WORD_SIZE
+        take = min(room, remaining)
+        runs.append((page_number(cursor), offset, take))
+        cursor += take * WORD_SIZE
+        remaining -= take
+    return runs
+
+
+class PhysicalAddressMap:
+    """The physical address layout of one node.
+
+    ``dram_bytes`` must be page aligned.  The command region is placed at a
+    page-aligned base beyond DRAM, by default immediately after a guard gap.
+    """
+
+    def __init__(self, dram_bytes, command_base=None):
+        if dram_bytes <= 0 or dram_bytes % PAGE_SIZE != 0:
+            raise AddressError("dram_bytes must be a positive page multiple")
+        self.dram_bytes = dram_bytes
+        self.dram_pages = dram_bytes // PAGE_SIZE
+        if command_base is None:
+            command_base = 2 * dram_bytes  # leave a hole; any aligned base works
+        if command_base % PAGE_SIZE != 0 or command_base < dram_bytes:
+            raise AddressError("command_base must be page aligned, beyond DRAM")
+        self.command_base = command_base
+
+    def is_dram(self, addr):
+        return 0 <= addr < self.dram_bytes
+
+    def is_command(self, addr):
+        return self.command_base <= addr < self.command_base + self.dram_bytes
+
+    def command_addr_for(self, dram_addr):
+        """Command-memory address controlling the given DRAM address."""
+        if not self.is_dram(dram_addr):
+            raise AddressError("%#x is not a DRAM address" % dram_addr)
+        return dram_addr + self.command_base
+
+    def dram_addr_for(self, command_addr):
+        """DRAM address controlled by the given command-memory address."""
+        if not self.is_command(command_addr):
+            raise AddressError("%#x is not a command address" % command_addr)
+        return command_addr - self.command_base
+
+    def command_page_for(self, dram_page):
+        """Page number (in the flat physical space) of the command page."""
+        if not 0 <= dram_page < self.dram_pages:
+            raise AddressError("no such DRAM page %r" % (dram_page,))
+        return page_number(self.command_base) + dram_page
+
+    def dram_page_for_command_page(self, command_page):
+        dram_page = command_page - page_number(self.command_base)
+        if not 0 <= dram_page < self.dram_pages:
+            raise AddressError("%r is not a command page" % (command_page,))
+        return dram_page

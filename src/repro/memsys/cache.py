@@ -1,0 +1,206 @@
+"""A snooping set-associative CPU cache with per-access policy.
+
+On the Xpress PC, "memory can be cached as write-through or write-back on a
+per-virtual-page basis, as specified in process page tables" (paper section
+3).  The MMU therefore supplies the caching policy on every access; the
+cache itself is policy-agnostic.
+
+The cache also snoops the memory bus: "the caches snoop DMA transactions
+and automatically invalidate corresponding cache lines, keeping consistent
+with *all* main memory updates."  That property is what lets SHRIMP deposit
+incoming network data straight into DRAM with no CPU involvement.
+"""
+
+from repro.sim.process import Timeout
+from repro.sim.trace import Counter
+
+
+class CachePolicy:
+    """Per-page caching policies (values stored in page-table entries)."""
+
+    WRITE_BACK = "WB"
+    WRITE_THROUGH = "WT"
+    UNCACHED = "UC"
+
+    ALL = (WRITE_BACK, WRITE_THROUGH, UNCACHED)
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "data", "lru")
+
+    def __init__(self, words_per_line):
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.data = [0] * words_per_line
+        self.lru = 0
+
+
+class Cache:
+    """Set-associative cache in front of the Xpress bus.
+
+    ``read``/``write`` are generators used by the CPU via ``yield from``;
+    the ``policy`` argument comes from the page-table entry for the page
+    being touched.  Write-through uses no-write-allocate (i486 behaviour);
+    write-back allocates on both read and write misses.
+    """
+
+    def __init__(self, sim, bus, params, name="cache"):
+        self.sim = sim
+        self.bus = bus
+        self.params = params
+        self.name = name
+        self.line_bytes = params.cache_line_bytes
+        self.words_per_line = self.line_bytes // 4
+        self.n_sets = params.cache_sets
+        self.assoc = params.cache_assoc
+        self._sets = [
+            [_Line(self.words_per_line) for _ in range(self.assoc)]
+            for _ in range(self.n_sets)
+        ]
+        self._lru_clock = 0
+        self.hits = Counter(name + ".hits")
+        self.misses = Counter(name + ".misses")
+        self.writebacks = Counter(name + ".writebacks")
+        self.snoop_invalidations = Counter(name + ".snoop_invalidations")
+        bus.add_snooper(self._snoop)
+
+    # -- geometry -------------------------------------------------------------
+
+    def _index(self, addr):
+        line_number = addr // self.line_bytes
+        return line_number % self.n_sets, line_number // self.n_sets
+
+    def _line_base(self, addr):
+        return addr - (addr % self.line_bytes)
+
+    def _word_in_line(self, addr):
+        return (addr % self.line_bytes) // 4
+
+    def _lookup(self, addr):
+        set_index, tag = self._index(addr)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def _touch(self, line):
+        self._lru_clock += 1
+        line.lru = self._lru_clock
+
+    def _victim(self, set_index):
+        lines = self._sets[set_index]
+        invalid = [line for line in lines if not line.valid]
+        if invalid:
+            return invalid[0]
+        return min(lines, key=lambda line: line.lru)
+
+    # -- fill / evict ----------------------------------------------------------
+
+    def _fill(self, addr):
+        """Generator: bring the line containing ``addr`` in; returns the line."""
+        set_index, tag = self._index(addr)
+        victim = self._victim(set_index)
+        if victim.valid and victim.dirty:
+            victim_base = (
+                (victim.tag * self.n_sets + set_index) * self.line_bytes
+            )
+            yield from self.bus.write(victim_base, list(victim.data), self.name)
+            self.writebacks.bump()
+        line_base = self._line_base(addr)
+        data = yield from self.bus.read(line_base, self.words_per_line, self.name)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = False
+        victim.data = list(data)
+        self._touch(victim)
+        return victim
+
+    # -- CPU-facing operations ---------------------------------------------------
+
+    def read(self, addr, policy):
+        """Generator: read one word at ``addr`` under the given page policy."""
+        if policy == CachePolicy.UNCACHED:
+            data = yield from self.bus.read(addr, 1, self.name)
+            return data[0]
+        line = self._lookup(addr)
+        if line is not None:
+            self.hits.bump()
+            self._touch(line)
+            yield Timeout(self.params.cache_hit_ns)
+            return line.data[self._word_in_line(addr)]
+        self.misses.bump()
+        line = yield from self._fill(addr)
+        return line.data[self._word_in_line(addr)]
+
+    def write(self, addr, value, policy):
+        """Generator: write one word at ``addr`` under the given page policy."""
+        if policy == CachePolicy.UNCACHED:
+            yield from self.bus.write(addr, [value], self.name)
+            return
+        line = self._lookup(addr)
+        if policy == CachePolicy.WRITE_THROUGH:
+            # Update the line if present (never dirty), always write the bus:
+            # this bus write is exactly what the NIC snoops for automatic
+            # update (paper section 4).
+            if line is not None:
+                self.hits.bump()
+                line.data[self._word_in_line(addr)] = value
+                self._touch(line)
+            else:
+                self.misses.bump()  # no-write-allocate
+            yield from self.bus.write(addr, [value], self.name)
+            return
+        # write-back
+        if line is None:
+            self.misses.bump()
+            line = yield from self._fill(addr)
+        else:
+            self.hits.bump()
+            self._touch(line)
+            yield Timeout(self.params.cache_hit_ns)
+        line.data[self._word_in_line(addr)] = value
+        line.dirty = True
+
+    def flush_page(self, page_base_addr, page_size):
+        """Generator: write back and invalidate all lines of one page.
+
+        The kernel uses this when converting a page from write-back to
+        write-through during ``map`` (section 3.1), so DRAM holds the
+        current data before the NIC starts relying on bus snooping.
+        """
+        for line_base in range(page_base_addr, page_base_addr + page_size,
+                               self.line_bytes):
+            line = self._lookup(line_base)
+            if line is None:
+                continue
+            if line.dirty:
+                yield from self.bus.write(line_base, list(line.data), self.name)
+                self.writebacks.bump()
+            line.valid = False
+            line.dirty = False
+
+    # -- bus snooping -----------------------------------------------------------
+
+    def _snoop(self, txn):
+        """Invalidate lines overlapping writes by other bus masters."""
+        if txn.kind != "write" or txn.originator == self.name:
+            return
+        start = self._line_base(txn.addr)
+        end = txn.end_addr()
+        for line_base in range(start, end, self.line_bytes):
+            line = self._lookup(line_base)
+            if line is not None:
+                line.valid = False
+                line.dirty = False
+                self.snoop_invalidations.bump()
+
+    # -- introspection ------------------------------------------------------------
+
+    def contains(self, addr):
+        """True if the word at ``addr`` is currently cached (for tests)."""
+        return self._lookup(addr) is not None
+
+    def is_dirty(self, addr):
+        line = self._lookup(addr)
+        return bool(line and line.dirty)

@@ -1,0 +1,54 @@
+"""The EISA expansion bus.
+
+On the prototype SHRIMP NIC, "incoming data from other nodes is transferred
+to main memory by way of the EISA expansion bus without involving the CPU"
+(paper section 3).  Its burst-mode peak of 33 MB/s is the bandwidth
+bottleneck of the whole prototype datapath (section 5.1).
+
+We model the EISA path as a serialised DMA channel: a setup cost per burst
+plus a per-word cost at the EISA rate, after which the words are deposited
+into DRAM through the memory bus (where the CPU caches snoop-invalidate
+them, keeping the caches consistent).
+"""
+
+from repro.sim.process import Timeout
+from repro.sim.resources import Mutex
+from repro.sim.trace import Counter
+
+
+class EisaBus:
+    """Serialised burst-DMA channel from the NIC into main memory."""
+
+    def __init__(self, sim, xpress_bus, params, name="eisa"):
+        self.sim = sim
+        self.xpress_bus = xpress_bus
+        self.params = params
+        self.name = name
+        self._mutex = Mutex(sim, name + ".channel")
+        self.bursts = Counter(name + ".bursts")
+        self.words_moved = Counter(name + ".words")
+        self.busy_ns = 0
+
+    def dma_write(self, addr, words):
+        """Generator: burst-write ``words`` to DRAM at ``addr``.
+
+        The bridge streams EISA data into memory, so the memory-bus write
+        overlaps the burst: the charge is the setup cost plus the *slower*
+        of the EISA burst time and the memory-bus transfer (EISA is the
+        bottleneck at 33 MB/s; all other datapath stages have at least
+        twice its bandwidth, paper section 5.1).  One burst at a time.
+        """
+        yield from self._mutex.acquire(self.name)
+        try:
+            yield Timeout(self.params.eisa_setup_ns)
+            burst_start = self.sim.now
+            yield from self.xpress_bus.write(addr, words, self.name)
+            bus_elapsed = self.sim.now - burst_start
+            eisa_time = len(words) * self.params.eisa_word_ns
+            if eisa_time > bus_elapsed:
+                yield Timeout(eisa_time - bus_elapsed)
+            self.busy_ns += self.sim.now - burst_start + self.params.eisa_setup_ns
+        finally:
+            self._mutex.release()
+        self.bursts.bump()
+        self.words_moved.bump(len(words))

@@ -1,0 +1,73 @@
+"""Word-addressable physical DRAM."""
+
+from repro.memsys.address import (
+    WORD_SIZE,
+    WORD_MASK,
+    AddressError,
+    require_word_aligned,
+)
+
+
+class PhysicalMemory:
+    """A node's DRAM as a flat little-endian byte array.
+
+    All accesses are word (4-byte) granularity, matching the bus models.
+    This object is purely functional; access *timing* is charged by the bus
+    that routes transactions here.
+    """
+
+    def __init__(self, size_bytes):
+        if size_bytes <= 0 or size_bytes % WORD_SIZE != 0:
+            raise AddressError("memory size must be a positive word multiple")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+        self.read_count = 0
+        self.write_count = 0
+
+    def _check(self, addr, nwords=1):
+        require_word_aligned(addr)
+        if addr < 0 or addr + nwords * WORD_SIZE > self.size_bytes:
+            raise AddressError(
+                "access [%#x, +%d words) outside memory of %d bytes"
+                % (addr, nwords, self.size_bytes)
+            )
+
+    def read_word(self, addr):
+        self._check(addr)
+        self.read_count += 1
+        return int.from_bytes(self._data[addr : addr + WORD_SIZE], "little")
+
+    def write_word(self, addr, value):
+        self._check(addr)
+        self.write_count += 1
+        self._data[addr : addr + WORD_SIZE] = (value & WORD_MASK).to_bytes(
+            WORD_SIZE, "little"
+        )
+
+    def read_words(self, addr, nwords):
+        self._check(addr, nwords)
+        self.read_count += nwords
+        return [
+            int.from_bytes(self._data[a : a + WORD_SIZE], "little")
+            for a in range(addr, addr + nwords * WORD_SIZE, WORD_SIZE)
+        ]
+
+    def write_words(self, addr, values):
+        self._check(addr, len(values))
+        self.write_count += len(values)
+        for i, value in enumerate(values):
+            a = addr + i * WORD_SIZE
+            self._data[a : a + WORD_SIZE] = (value & WORD_MASK).to_bytes(
+                WORD_SIZE, "little"
+            )
+
+    def load_bytes(self, addr, data):
+        """Bulk functional initialisation (no accounting); for test setup."""
+        if addr < 0 or addr + len(data) > self.size_bytes:
+            raise AddressError("load outside memory")
+        self._data[addr : addr + len(data)] = data
+
+    def dump_bytes(self, addr, length):
+        if addr < 0 or addr + length > self.size_bytes:
+            raise AddressError("dump outside memory")
+        return bytes(self._data[addr : addr + length])

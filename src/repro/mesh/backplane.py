@@ -1,0 +1,147 @@
+"""Assembly of routers and links into a Paragon-style mesh backplane."""
+
+from repro.mesh.link import Link
+from repro.mesh.router import Router, NORTH, SOUTH, EAST, WEST, LOCAL
+from repro.sim.resources import Mutex
+from repro.sim.trace import Counter
+
+
+class Backplane:
+    """A ``width x height`` mesh with one NIC attachment point per router.
+
+    Node ids are assigned row-major: ``node_id = y * width + x``.  A NIC
+    attaches by taking the injection link (it sends flits into it) and the
+    ejection link (it receives flits from it) for its node.
+    """
+
+    def __init__(self, sim, params, width, height, name="mesh"):
+        if width <= 0 or height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        self.sim = sim
+        self.params = params
+        self.width = width
+        self.height = height
+        self.name = name
+        self.routers = {}
+        self._injection = {}  # node_id -> Link (NIC -> router)
+        self._ejection = {}  # node_id -> Link (router -> NIC)
+        self._injection_locks = {}  # one injector at a time per port
+        self.packets_delivered = Counter(name + ".delivered")
+        self._build()
+        self._started = False
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def node_count(self):
+        return self.width * self.height
+
+    def coords_of(self, node_id):
+        if not 0 <= node_id < self.node_count:
+            raise ValueError("no node %r in %dx%d mesh" % (node_id, self.width,
+                                                           self.height))
+        return node_id % self.width, node_id // self.width
+
+    def node_at(self, coords):
+        x, y = coords
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError("coords %r outside %dx%d mesh" % (coords, self.width,
+                                                               self.height))
+        return y * self.width + x
+
+    def hop_count(self, src_node, dest_node):
+        sx, sy = self.coords_of(src_node)
+        dx, dy = self.coords_of(dest_node)
+        return abs(sx - dx) + abs(sy - dy)
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self):
+        for y in range(self.height):
+            for x in range(self.width):
+                self.routers[(x, y)] = Router(self.sim, self.params, (x, y))
+        # Neighbour links.  Each adjacent pair gets two unidirectional links.
+        for (x, y), router in self.routers.items():
+            for port, (nx, ny), reverse in (
+                (EAST, (x + 1, y), WEST),
+                (SOUTH, (x, y + 1), NORTH),
+            ):
+                neighbour = self.routers.get((nx, ny))
+                if neighbour is None:
+                    continue
+                forward = Link(
+                    self.sim, self.params,
+                    "link(%d,%d)->(%d,%d)" % (x, y, nx, ny),
+                )
+                backward = Link(
+                    self.sim, self.params,
+                    "link(%d,%d)->(%d,%d)" % (nx, ny, x, y),
+                )
+                router.connect_output(port, forward)
+                neighbour.connect_input(reverse, forward)
+                neighbour.connect_output(reverse, backward)
+                router.connect_input(port, backward)
+        # Injection/ejection links for every node.
+        for node_id in range(self.node_count):
+            coords = self.coords_of(node_id)
+            router = self.routers[coords]
+            inject = Link(self.sim, self.params, "inject(%d)" % node_id)
+            eject = Link(self.sim, self.params, "eject(%d)" % node_id)
+            router.connect_input(LOCAL, inject)
+            router.connect_output(LOCAL, eject)
+            self._injection[node_id] = inject
+            self._ejection[node_id] = eject
+            self._injection_locks[node_id] = Mutex(
+                self.sim, "inject(%d).port" % node_id
+            )
+
+    def start(self):
+        """Start all router forwarding processes."""
+        if self._started:
+            return
+        self._started = True
+        for router in self.routers.values():
+            router.start()
+
+    # -- NIC attachment ----------------------------------------------------------
+
+    def injection_link(self, node_id):
+        return self._injection[node_id]
+
+    def ejection_link(self, node_id):
+        return self._ejection[node_id]
+
+    def inject(self, node_id, packet):
+        """Generator: serialise ``packet`` into flits and send them.
+
+        This is the NIC-side transmit path; it blocks under backpressure
+        exactly like real wormhole injection.  The injection port admits
+        one worm at a time (a node has a single physical port), so
+        concurrent callers are serialised rather than interleaved.
+        """
+        link = self._injection[node_id]
+        lock = self._injection_locks[node_id]
+        yield from lock.acquire(packet)
+        try:
+            for flit in packet.to_flits(self.params.flit_bytes):
+                yield from link.send(flit)
+        finally:
+            lock.release()
+
+    def receive_packet(self, node_id):
+        """Generator: collect one whole packet from the ejection link.
+
+        Flits of one packet arrive contiguously (wormhole switching holds
+        the ejection port for the whole worm).  Returns the packet.
+        """
+        link = self._ejection[node_id]
+        flit = yield from link.receive()
+        if not flit.is_head:
+            raise RuntimeError("ejection out of sync at node %d" % node_id)
+        packet = flit.packet
+        while not flit.is_tail:
+            flit = yield from link.receive()
+            if flit.packet is not packet:
+                raise RuntimeError("interleaved worms at node %d" % node_id)
+        self.packets_delivered.bump()
+        return packet

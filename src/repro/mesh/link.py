@@ -1,0 +1,46 @@
+"""Unidirectional flit channels with bounded buffering.
+
+A link models one physical channel between adjacent routers (or between a
+NIC and its router).  It has a per-flit transfer time (setting the link
+bandwidth) and a bounded receive buffer: a full buffer blocks the sender,
+which is how wormhole backpressure propagates hop by hop all the way back
+to a sending NIC.
+"""
+
+from repro.sim.process import Timeout
+from repro.sim.resources import BoundedQueue
+from repro.sim.trace import Counter
+
+
+class Link:
+    """A timed, bounded flit pipe."""
+
+    def __init__(self, sim, params, name="link"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._buffer = BoundedQueue(
+            sim, capacity=params.input_buffer_flits, name=name + ".buf"
+        )
+        self.flits_moved = Counter(name + ".flits")
+
+    def send(self, flit):
+        """Generator: transfer one flit (timed), blocking on a full buffer."""
+        yield Timeout(self.params.link_flit_ns)
+        yield from self._buffer.put(flit)
+        self.flits_moved.bump()
+
+    def receive(self):
+        """Generator: take the next flit, blocking while the link is empty."""
+        flit = yield from self._buffer.get()
+        return flit
+
+    def try_receive(self):
+        return self._buffer.try_get()
+
+    @property
+    def occupancy(self):
+        return len(self._buffer)
+
+    def is_full(self):
+        return self._buffer.is_full()

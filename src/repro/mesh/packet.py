@@ -1,0 +1,157 @@
+"""Network packet format, CRC and flit serialisation.
+
+"A packet consists of routing information, the absolute mesh coordinates of
+the intended receiver, destination memory address, data, and a CRC checksum
+to detect network errors." (paper section 3.1)
+
+Packets are serialised into 16-bit flits for wormhole transmission; the
+head flit carries the routing information, the tail flit carries the CRC.
+"""
+
+from repro.memsys.address import WORD_SIZE
+
+# Header: dest coords (2B), src coords (2B), dest address (4B),
+# payload length (2B), packet kind (2B), plus routing field (4B) = 16 bytes.
+HEADER_BYTES = 16
+CRC_BYTES = 2
+
+
+class PacketError(Exception):
+    """Raised on malformed packets (bad CRC, wrong destination)."""
+
+
+_CRC16_POLY = 0x1021  # CRC-16/CCITT
+
+
+def crc16(data, initial=0xFFFF):
+    """CRC-16/CCITT-FALSE over a byte sequence."""
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+class Packet:
+    """One network packet carrying words to a remote physical address.
+
+    ``kind`` distinguishes ordinary data packets from kernel control
+    messages (used by the NIPT-consistency protocol, paper section 4.4,
+    which says kernels communicate "by sending messages to the remote
+    kernels" -- those messages travel over the same network).
+    """
+
+    DATA = 0
+    KERNEL = 1
+
+    __slots__ = (
+        "src_coords",
+        "dest_coords",
+        "dest_addr",
+        "payload",
+        "kind",
+        "crc",
+        "created_ns",
+        "_corrupted",
+    )
+
+    def __init__(self, src_coords, dest_coords, dest_addr, payload, kind=DATA,
+                 created_ns=0):
+        if not payload:
+            raise PacketError("packet must carry at least one word")
+        self.src_coords = src_coords
+        self.dest_coords = dest_coords
+        self.dest_addr = dest_addr
+        self.payload = list(payload)
+        self.kind = kind
+        self.created_ns = created_ns
+        self.crc = crc16(self._covered_bytes())
+        self._corrupted = False
+
+    def _covered_bytes(self):
+        """Bytes covered by the CRC: header fields plus payload."""
+        header = bytes(
+            [
+                self.dest_coords[0] & 0xFF,
+                self.dest_coords[1] & 0xFF,
+                self.src_coords[0] & 0xFF,
+                self.src_coords[1] & 0xFF,
+            ]
+        )
+        header += self.dest_addr.to_bytes(8, "little")
+        header += len(self.payload).to_bytes(2, "little")
+        header += self.kind.to_bytes(2, "little")
+        body = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in self.payload)
+        return header + body
+
+    # -- integrity --------------------------------------------------------------
+
+    def corrupt(self):
+        """Flip a payload bit without updating the CRC (for error injection)."""
+        self.payload[0] ^= 1
+        self._corrupted = True
+
+    def crc_ok(self):
+        return self.crc == crc16(self._covered_bytes())
+
+    def verify(self, receiver_coords):
+        """The receive-side check (paper section 3.1): coords + CRC.
+
+        Raises :class:`PacketError` on either failure.
+        """
+        if self.dest_coords != receiver_coords:
+            raise PacketError(
+                "misrouted: packet for %r arrived at %r"
+                % (self.dest_coords, receiver_coords)
+            )
+        if not self.crc_ok():
+            raise PacketError("CRC mismatch at %r" % (receiver_coords,))
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def payload_bytes(self):
+        return len(self.payload) * WORD_SIZE
+
+    @property
+    def size_bytes(self):
+        return HEADER_BYTES + self.payload_bytes + CRC_BYTES
+
+    def flit_count(self, flit_bytes):
+        return -(-self.size_bytes // flit_bytes)  # ceiling division
+
+    def to_flits(self, flit_bytes):
+        """Serialise into a head...tail flit sequence for wormhole routing."""
+        count = self.flit_count(flit_bytes)
+        return [
+            Flit(self, index, is_head=(index == 0), is_tail=(index == count - 1))
+            for index in range(count)
+        ]
+
+    def __repr__(self):
+        return "Packet(%r->%r addr=%#x x%d words)" % (
+            self.src_coords,
+            self.dest_coords,
+            self.dest_addr,
+            len(self.payload),
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet on a link."""
+
+    __slots__ = ("packet", "index", "is_head", "is_tail")
+
+    def __init__(self, packet, index, is_head, is_tail):
+        self.packet = packet
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+
+    def __repr__(self):
+        marks = ("H" if self.is_head else "") + ("T" if self.is_tail else "")
+        return "Flit(%d%s of %r)" % (self.index, marks, self.packet)

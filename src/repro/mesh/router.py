@@ -1,0 +1,119 @@
+"""A 5-port wormhole mesh router with dimension-ordered routing.
+
+Each router has North/South/East/West ports to its neighbours plus an
+injection input (from the local NIC) and an ejection output (to the local
+NIC).  Routing is X-then-Y dimension order: correct the X coordinate first,
+then Y, then eject.  Dimension-ordered routing on a mesh is oblivious and
+deadlock-free (Dally & Seitz), which is the property the SHRIMP flow
+control scheme relies on: "since the routing network is deadlock-free, all
+packets will eventually be delivered" (paper section 4).
+
+Wormhole switching: when a head flit is routed, the chosen output is held
+by that packet until its tail flit passes; the worm advances flit by flit
+and stalls in place (holding buffers and the output) under backpressure.
+"""
+
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Mutex
+from repro.sim.trace import Counter
+
+
+class RoutingError(Exception):
+    """Raised when a packet cannot be routed (disconnected port)."""
+
+
+NORTH, SOUTH, EAST, WEST, LOCAL = "north", "south", "east", "west", "local"
+PORTS = (NORTH, SOUTH, EAST, WEST, LOCAL)
+
+
+class _OutputPort:
+    """An output channel: a link plus the mutex a worm holds while using it."""
+
+    def __init__(self, sim, name):
+        self.link = None  # set when the backplane wires the mesh
+        self.mutex = Mutex(sim, name + ".alloc")
+        self.name = name
+
+
+class Router:
+    """One mesh router at coordinates ``(x, y)``."""
+
+    def __init__(self, sim, params, coords, name=None):
+        self.sim = sim
+        self.params = params
+        self.coords = coords
+        self.name = name or ("router(%d,%d)" % coords)
+        self.inputs = {}  # port -> Link (filled by the backplane)
+        self.outputs = {port: _OutputPort(sim, "%s.%s" % (self.name, port))
+                        for port in PORTS}
+        self.packets_routed = Counter(self.name + ".packets")
+        self.flits_forwarded = Counter(self.name + ".flits")
+        self._started = False
+
+    # -- wiring (used by the backplane) ---------------------------------------
+
+    def connect_input(self, port, link):
+        self.inputs[port] = link
+
+    def connect_output(self, port, link):
+        self.outputs[port].link = link
+
+    def start(self):
+        """Spawn one forwarding process per connected input port."""
+        if self._started:
+            raise RuntimeError("%s already started" % self.name)
+        self._started = True
+        for port, link in self.inputs.items():
+            Process(
+                self.sim,
+                self._input_process(port, link),
+                "%s.in.%s" % (self.name, port),
+            ).start()
+
+    # -- routing decision -------------------------------------------------------
+
+    def route(self, dest_coords):
+        """Dimension-ordered (X then Y) output port for ``dest_coords``."""
+        x, y = self.coords
+        dx, dy = dest_coords
+        if dx > x:
+            return EAST
+        if dx < x:
+            return WEST
+        if dy > y:
+            return SOUTH  # y grows southwards
+        if dy < y:
+            return NORTH
+        return LOCAL
+
+    # -- the worm ---------------------------------------------------------------
+
+    def _input_process(self, port, in_link):
+        """Forward worms arriving on one input port, forever."""
+        while True:
+            flit = yield from in_link.receive()
+            if not flit.is_head:
+                raise RoutingError(
+                    "%s.%s: worm out of sync, got %r expecting a head flit"
+                    % (self.name, port, flit)
+                )
+            out_name = self.route(flit.packet.dest_coords)
+            output = self.outputs[out_name]
+            if output.link is None:
+                raise RoutingError(
+                    "%s: no %s link for %r (mesh edge?)"
+                    % (self.name, out_name, flit.packet)
+                )
+            # Head-flit routing decision latency.
+            yield Timeout(self.params.router_hop_ns)
+            yield from output.mutex.acquire(owner=flit.packet)
+            try:
+                yield from output.link.send(flit)
+                self.flits_forwarded.bump()
+                while not flit.is_tail:
+                    flit = yield from in_link.receive()
+                    yield from output.link.send(flit)
+                    self.flits_forwarded.bump()
+            finally:
+                output.mutex.release()
+            self.packets_routed.bump()

@@ -1,0 +1,46 @@
+"""User-level message-passing primitives (paper section 5.2).
+
+Because SHRIMP offers user-level communication, "applications are free to
+use customized message passing operations rather than a single, generic
+mechanism".  This package implements the paper's catalogue, each as real
+assembly for the simulated CPU with instruction-count accounting regions,
+so the Table 1 numbers are *measured*, not asserted:
+
+====================================  =======================================
+primitive                             module
+====================================  =======================================
+single buffering (with/without copy)  :mod:`~repro.msg.single_buffer`
+double buffering (loop cases 1-3)     :mod:`~repro.msg.double_buffer`
+deliberate-update block transfer      :mod:`~repro.msg.deliberate`
+NX/2 ``csend``/``crecv`` on SHRIMP    :mod:`~repro.msg.nx2`
+traditional kernel-DMA baseline       :mod:`~repro.msg.nx2_baseline`
+====================================  =======================================
+
+All primitives operate on a :class:`~repro.msg.layout.MessagingPair`: a
+pair of nodes with the buffer/flag mappings of the paper's figures 5 and 6
+already established (the ``map`` calls that, per figure 1, execute outside
+the communication loops).
+"""
+
+from repro.msg.layout import PairLayout, MessagingPair
+from repro.msg import (
+    deliberate,
+    double_buffer,
+    fifo_channel,
+    nx2,
+    nx2_baseline,
+    os_channels,
+    single_buffer,
+)
+
+__all__ = [
+    "PairLayout",
+    "MessagingPair",
+    "single_buffer",
+    "double_buffer",
+    "deliberate",
+    "fifo_channel",
+    "nx2",
+    "nx2_baseline",
+    "os_channels",
+]

@@ -1,0 +1,123 @@
+"""The deliberate-update send macro (paper sections 4.3, 5.2).
+
+Pages mapped in deliberate-update mode transfer data only when the process
+issues an explicit send through the command page.  The macro below is the
+paper's "small macro that implements deliberate-update send": in the
+simplest case (one page, one DMA command) initiation costs 13 instructions;
+checking completion costs 2.  Transfers spanning a page boundary loop over
+per-page commands, with the preparation of the next command overlapped
+with the outgoing DMA of the current one.
+
+Register use: r1 = byte count, r2 = word count, r3 = command address,
+r4 = scratch for the boundary check, r0 = CMPXCHG accumulator.
+"""
+
+from repro.cpu.assembler import Asm
+from repro.cpu.isa import Mem, R0, R1, R2, R3, R4
+from repro.memsys.address import PAGE_SIZE
+from repro.msg.layout import PairLayout as L
+
+WORDS_PER_PAGE = PAGE_SIZE // 4
+
+
+def emit_send(asm, buf_addr, command_addr):
+    """Deliberate-update send of ``PRIV[P_SIZE]`` bytes from ``buf_addr``.
+
+    13 counted instructions on the single-page fast path (region
+    ``send``); the multi-page path loops one DMA command per page.
+    ``command_addr`` is the command-memory address corresponding to
+    ``buf_addr`` (same offset; section 4.3).
+    """
+    unique = len(asm._code)
+    retry = "dlb_retry_%d" % unique
+    multi = "dlb_multi_%d" % unique
+    done = "dlb_done_%d" % unique
+    page_offset = buf_addr % PAGE_SIZE
+
+    asm.region_begin("send")
+    asm.mov(R1, Mem(disp=L.priv(L.P_SIZE)))  # 1: byte count
+    asm.mov(R2, R1)  # 2
+    asm.add(R2, 3)  # 3: round up...
+    asm.shr(R2, 2)  # 4: ...to words
+    asm.lea(R3, Mem(disp=command_addr))  # 5: command address
+    asm.mov(R4, R1)  # 6
+    asm.add(R4, page_offset)  # 7: end offset within the page
+    asm.cmp(R4, PAGE_SIZE)  # 8: crosses the boundary?
+    asm.jg(multi)  # 9: slow path if so
+    asm.label(retry)
+    asm.mov(R0, 0)  # 10: accumulator := expected idle status
+    asm.cmpxchg(Mem(base=R3), R2)  # 11: the atomic arm (section 4.3)
+    asm.jnz(retry)  # 12: engine busy -> retry
+    asm.mov(Mem(disp=L.priv(L.P_PENDING)), R3)  # 13: record for the check
+    asm.region_end("send")
+    asm.jmp(done)
+
+    # Multi-page slow path: one command per page, preparing the next while
+    # the current DMA drains.  Counted in its own region ("send-multi").
+    asm.label(multi)
+    asm.region_end("send")  # the fast-path region ends on this path too
+    asm.region_begin("send-multi")
+    loop = "dlb_page_loop_%d" % unique
+    mretry = "dlb_mretry_%d" % unique
+    asm.label(loop)
+    # Words in this page's chunk: min(remaining words, room in page).
+    asm.mov(R4, R3)
+    asm.and_(R4, PAGE_SIZE - 1)  # offset of cursor within its page
+    asm.mov(R1, PAGE_SIZE)
+    asm.sub(R1, R4)
+    asm.shr(R1, 2)  # room (words) to the boundary
+    asm.cmp(R2, R1)
+    asm.jge(mretry)
+    asm.mov(R1, R2)  # final partial chunk
+    asm.label(mretry)
+    asm.mov(R0, 0)
+    asm.cmpxchg(Mem(base=R3), R1)
+    asm.jnz(mretry)
+    asm.mov(Mem(disp=L.priv(L.P_PENDING)), R3)
+    asm.sub(R2, R1)  # words remaining
+    asm.shl(R1, 2)
+    asm.add(R3, R1)  # advance the command cursor
+    asm.test(R2, R2)
+    asm.jnz(loop)
+    asm.region_end("send-multi")
+    asm.label(done)
+
+
+def emit_check_done(asm, not_done_label):
+    """Completion check: 2 counted instructions (region ``check``).
+
+    Reads the command address of the last armed transfer (expected in
+    ``r3``, as the send macro leaves it); the NIC returns 0 iff the DMA
+    engine is free (section 4.3).  Falls through when the transfer is
+    complete; branches to ``not_done_label`` otherwise.  Both paths close
+    the accounting region, so the macro may sit inside a polling loop.
+    """
+    unique = len(asm._code)
+    busy = "dlb_check_busy_%d" % unique
+    done = "dlb_check_done_%d" % unique
+    asm.region_begin("check")
+    asm.cmp(Mem(base=R3), 0)  # 1: engine status read
+    asm.jnz(busy)  # 2: branch if still transferring
+    asm.region_end("check")
+    asm.jmp(done)
+    asm.label(busy)
+    asm.region_end("check")
+    asm.jmp(not_done_label)
+    asm.label(done)
+
+
+def sender_program(system, node, nbytes, buf_addr=None):
+    """A complete deliberate-update sender for ``nbytes`` bytes."""
+    buf_addr = L.SBUF0 if buf_addr is None else buf_addr
+    command_addr = node.command_addr(buf_addr)
+    asm = Asm("deliberate-sender")
+    asm.mov(Mem(disp=L.priv(L.P_SIZE)), nbytes)
+    emit_send(asm, buf_addr, command_addr)
+    # Spin until the transfer completes, then halt.  The send macro left
+    # the last command address in r3.
+    asm.mov(R3, Mem(disp=L.priv(L.P_PENDING)))
+    wait = "dlb_wait_%d" % len(asm._code)
+    asm.label(wait)
+    emit_check_done(asm, wait)
+    asm.halt()
+    return asm

@@ -1,0 +1,109 @@
+"""Buffer and flag layout for a communicating node pair.
+
+The message-passing primitives are macros over fixed (per-channel)
+addresses -- exactly the situation of the paper's figure 1, where the
+``map`` calls execute once outside the loop and bake the addresses into
+the loop body.
+
+Physical layout used on both nodes (the two nodes have separate physical
+memories, so sender-side and receiver-side regions may not collide only
+within one node):
+
+======================  ==========  =========================================
+region                  address     purpose
+======================  ==========  =========================================
+``SBUF0`` / ``SBUF1``   0x10000/0x11000  send buffers (double buffering
+                                    toggles between them with XOR 0x1000)
+``RBUF0`` / ``RBUF1``   0x20000/0x21000  receive buffers on the other node
+``FLAGS``               0x14000     one page of synchronisation flags,
+                                    mapped *bidirectionally* (figure 5:
+                                    "a single flag, mapped for
+                                    bidirectional automatic update")
+``PRIV``                0x16000     private scratch (never mapped)
+``COPYBUF``             0x18000     private copy-out destination
+======================  ==========  =========================================
+"""
+
+from repro.machine import mapping
+from repro.memsys.address import PAGE_SIZE, page_number
+from repro.memsys.cache import CachePolicy
+from repro.nic.nipt import MappingMode
+
+
+class PairLayout:
+    """Address constants shared by all primitives."""
+
+    SBUF0 = 0x10000
+    SBUF1 = 0x11000
+    BUF_TOGGLE = 0x1000  # XOR mask flipping between the two buffers
+    RBUF0 = 0x20000
+    RBUF1 = 0x21000
+    FLAGS = 0x14000
+    PRIV = 0x16000
+    COPYBUF = 0x18000
+
+    # Flag word offsets within the FLAGS page.
+    F_NBYTES = 0x00  # single buffering: size-and-full flag
+    F_ARRIVE = 0x04  # double buffering: data-arrival flag
+    F_ACK = 0x08  # double buffering case 3: consumed flag
+    F_BARRIER_A = 0x0C  # barrier counters (one per side)
+    F_BARRIER_B = 0x10
+
+    # Private scratch word offsets within the PRIV page.
+    P_SIZE = 0x00  # message size input to send macros
+    P_RSIZE = 0x04  # received size output from receive macros
+    P_PENDING = 0x08  # pending deliberate-update command address
+
+    @classmethod
+    def flag(cls, offset):
+        return cls.FLAGS + offset
+
+    @classmethod
+    def priv(cls, offset):
+        return cls.PRIV + offset
+
+
+class MessagingPair:
+    """Two nodes with the figure 5/6 mappings established.
+
+    ``data_mode`` selects the transfer strategy for the data buffers; the
+    flag page is always single-write automatic update (low latency), and
+    is mapped bidirectionally.
+    """
+
+    def __init__(self, system, sender, receiver,
+                 data_mode=MappingMode.AUTO_SINGLE, double_buffered=False):
+        self.system = system
+        self.sender = sender
+        self.receiver = receiver
+        self.layout = PairLayout
+        self.data_mode = data_mode
+        buffers = 2 if double_buffered else 1
+        mapping.establish(
+            sender,
+            PairLayout.SBUF0,
+            receiver,
+            PairLayout.RBUF0,
+            buffers * PAGE_SIZE,
+            data_mode,
+        )
+        mapping.establish_bidirectional(
+            sender,
+            PairLayout.FLAGS,
+            receiver,
+            PairLayout.FLAGS,
+            PAGE_SIZE,
+            MappingMode.AUTO_SINGLE,
+        )
+        # Private scratch pages are write-through so tests and benches can
+        # inspect them in DRAM without flushing (timing-irrelevant).
+        for node in (sender, receiver):
+            for base in (PairLayout.PRIV, PairLayout.COPYBUF):
+                node.mmu.set_policy(page_number(base),
+                                    CachePolicy.WRITE_THROUGH)
+
+    def sender_counts(self, region="send"):
+        return self.sender.cpu.counts.region(region)
+
+    def receiver_counts(self, region="recv"):
+        return self.receiver.cpu.counts.region(region)

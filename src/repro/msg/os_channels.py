@@ -1,0 +1,169 @@
+"""OS-level messaging channels: the paper's figure 1, end to end.
+
+The hardware-level :class:`~repro.msg.layout.MessagingPair` installs NIPT
+state directly; this module builds the same channels the way a real
+SHRIMP application would: two user processes whose programs begin with
+``map`` system calls (outside the communication loop) and then run the
+user-level primitives against their own *virtual* addresses.
+
+Address-space convention: the processes place their buffers at the same
+virtual addresses the physical layout uses (:class:`PairLayout`), so the
+primitive emitters work unchanged -- the point being demonstrated is that
+the counts and semantics of Table 1 hold for real, protection-checked,
+virtually-addressed processes, not just for the bare machine.
+
+Startup handshake: mappings are established by *both* sides (the flag
+page is complementary), so each program publishes a READY word through
+its own mapping and spins for the peer's before entering the loop body.
+"""
+
+from repro.cpu.assembler import Asm
+from repro.cpu.isa import Mem, R0, R1
+from repro.memsys.address import PAGE_SIZE
+from repro.msg.layout import PairLayout as L
+from repro.os.syscalls import MapArgs, Syscall
+
+# Argument blocks and the handshake words live in the private page.
+ARGS_DATA = L.PRIV + 0x100  # MapArgs for the data-buffer mapping
+ARGS_FLAGS = L.PRIV + 0x140  # MapArgs for the flag-page mapping
+READY_SENDER = L.FLAGS + 0xFF8  # written by the sender's flag mapping
+READY_RECEIVER = L.FLAGS + 0xFFC  # written by the receiver's flag mapping
+
+
+class OsChannelError(Exception):
+    """Raised when channel construction fails."""
+
+
+def _emit_map_prologue(asm, args_vaddrs):
+    """MAP syscalls for each prepared argument block; aborts on failure.
+
+    Mapping ids are positive handles; errnos come back as negative values
+    (sign bit set), so one signed comparison distinguishes them.
+    """
+    for args_vaddr in args_vaddrs:
+        asm.mov(R1, args_vaddr)
+        asm.syscall(Syscall.MAP)
+        ok = "map_ok_%d" % len(asm._code)
+        asm.cmp(R0, 0)
+        asm.jg(ok)
+        asm.syscall(Syscall.EXIT)  # abort: the channel cannot be built
+        asm.label(ok)
+
+
+def _emit_handshake(asm, my_ready, peer_ready):
+    """Publish READY through my mapping; spin for the peer's READY.
+
+    Each side owns a distinct word of the complementary flag page, so the
+    two READY markers never collide."""
+    asm.mov(Mem(disp=my_ready), 1)
+    spin = "handshake_%d" % len(asm._code)
+    asm.label(spin)
+    asm.cmp(Mem(disp=peer_ready), 0)
+    asm.jz(spin)
+
+
+class OsMessagingPair:
+    """Two user processes joined by syscall-established mappings.
+
+    ``build()`` takes body emitters -- callables ``(asm) -> None`` that
+    append the communication loop -- and returns the two
+    :class:`~repro.os.process.OsProcess` objects, enqueued on their
+    nodes' schedulers.
+    """
+
+    MODE_CODES = {"auto-single": 0, "auto-blocked": 1, "deliberate": 2}
+
+    def __init__(self, cluster, sender_node_id=0, receiver_node_id=1,
+                 data_mode="auto-single", command_vaddr=0):
+        self.cluster = cluster
+        self.sender_node_id = sender_node_id
+        self.receiver_node_id = receiver_node_id
+        if data_mode not in self.MODE_CODES:
+            raise OsChannelError("unknown data mode %r" % (data_mode,))
+        self.data_mode = data_mode
+        self.command_vaddr = command_vaddr
+        self.sender = None
+        self.receiver = None
+
+    def _prepare_process(self, kernel, process, is_sender, peer_pid):
+        from repro.memsys.cache import CachePolicy
+
+        # Regions at the layout's virtual addresses.  Scratch pages are
+        # write-through so tests and benches can read them from DRAM.
+        kernel.alloc_region(process, L.FLAGS, PAGE_SIZE)
+        kernel.alloc_region(process, L.PRIV, PAGE_SIZE,
+                            policy=CachePolicy.WRITE_THROUGH)
+        if is_sender:
+            kernel.alloc_region(process, L.SBUF0, PAGE_SIZE)
+            kernel.write_user_words(
+                process,
+                ARGS_DATA,
+                MapArgs(
+                    L.SBUF0,
+                    PAGE_SIZE,
+                    self.receiver_node_id,
+                    peer_pid,
+                    L.RBUF0,
+                    self.MODE_CODES[self.data_mode],
+                    self.command_vaddr,
+                ).to_words(),
+            )
+            flags_dest_node, flags_dest_pid = self.receiver_node_id, peer_pid
+        else:
+            kernel.alloc_region(process, L.RBUF0, PAGE_SIZE)
+            kernel.alloc_region(process, L.COPYBUF, PAGE_SIZE,
+                                policy=CachePolicy.WRITE_THROUGH)
+            flags_dest_node, flags_dest_pid = self.sender_node_id, peer_pid
+        # Both sides map their flag page to the peer's (complementary).
+        kernel.write_user_words(
+            process,
+            ARGS_FLAGS,
+            MapArgs(
+                L.FLAGS,
+                PAGE_SIZE,
+                flags_dest_node,
+                flags_dest_pid,
+                L.FLAGS,
+                0,  # flags always auto-single
+            ).to_words(),
+        )
+
+    def build(self, sender_body, receiver_body, handshake=True):
+        """Create, wire and enqueue both processes.
+
+        ``sender_body(asm)`` and ``receiver_body(asm)`` append the
+        communication loops (e.g. the Table 1 primitive emitters).
+        ``handshake=False`` skips the startup READY exchange (useful when
+        a test expects one side to abort during its prologue).
+        """
+        kernel_s = self.cluster.kernel(self.sender_node_id)
+        kernel_r = self.cluster.kernel(self.receiver_node_id)
+
+        sender_asm = Asm("os-sender")
+        receiver_asm = Asm("os-receiver")
+        _emit_map_prologue(sender_asm, (ARGS_DATA, ARGS_FLAGS))
+        _emit_map_prologue(receiver_asm, (ARGS_FLAGS,))
+        if handshake:
+            _emit_handshake(sender_asm, READY_SENDER, READY_RECEIVER)
+            _emit_handshake(receiver_asm, READY_RECEIVER, READY_SENDER)
+        sender_body(sender_asm)
+        receiver_body(receiver_asm)
+        for asm in (sender_asm, receiver_asm):
+            asm.syscall(Syscall.EXIT)
+
+        self.sender = kernel_s.create_process("os-sender",
+                                              sender_asm.build())
+        self.receiver = kernel_r.create_process("os-receiver",
+                                                receiver_asm.build())
+        self._prepare_process(kernel_s, self.sender, True,
+                              self.receiver.pid)
+        self._prepare_process(kernel_r, self.receiver, False,
+                              self.sender.pid)
+        self.cluster.scheduler(self.sender_node_id).add(self.sender)
+        self.cluster.scheduler(self.receiver_node_id).add(self.receiver)
+        return self.sender, self.receiver
+
+    def read_receiver_words(self, vaddr, nwords):
+        return self.cluster.read_process_words(
+            self.receiver_node_id, self.receiver, vaddr, nwords
+        )

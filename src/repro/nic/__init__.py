@@ -1,0 +1,51 @@
+"""The SHRIMP virtual memory-mapped network interface (the paper's core).
+
+The network interface connects a node's Xpress memory bus to a router port
+of the mesh backplane.  Its job (paper section 4): snoop CPU writes to
+mapped-out pages, packetize them, and inject them into the network; accept
+incoming packets and deposit their data directly into mapped-in physical
+memory with no CPU involvement.
+
+Components:
+
+- :mod:`~repro.nic.nipt` -- the Network Interface Page Table: one entry per
+  physical page, holding outgoing mappings (with the section 3.2 page-split
+  feature) and incoming state.
+- :mod:`~repro.nic.fifo` -- Outgoing and Incoming FIFOs with programmable
+  flow-control thresholds.
+- :mod:`~repro.nic.dma` -- the single deliberate-update DMA engine and its
+  CMPXCHG-armed command protocol (section 4.3).
+- :mod:`~repro.nic.command` -- the VM-mapped command memory device
+  (section 4.2).
+- :mod:`~repro.nic.interface` -- the full datapath assembly: snooper,
+  packetizer with blocked-write merging, injection/receive/delivery
+  processes, and flow control.
+"""
+
+from repro.nic.nipt import (
+    Nipt,
+    NiptEntry,
+    OutgoingHalf,
+    MappingMode,
+    NiptError,
+)
+from repro.nic.fifo import PacketFifo, FifoOverflow
+from repro.nic.command import CommandOp, encode_command, decode_command
+from repro.nic.dma import DmaEngine
+from repro.nic.interface import NetworkInterface, NicError
+
+__all__ = [
+    "Nipt",
+    "NiptEntry",
+    "OutgoingHalf",
+    "MappingMode",
+    "NiptError",
+    "PacketFifo",
+    "FifoOverflow",
+    "CommandOp",
+    "encode_command",
+    "decode_command",
+    "DmaEngine",
+    "NetworkInterface",
+    "NicError",
+]

@@ -1,0 +1,84 @@
+"""Virtual memory-mapped command encoding (paper section 4.2).
+
+Command memory "is located in the node's physical address space, but does
+not address any actual RAM.  References to command memory simply transmit
+information to or from the network interface."  Command page ``p`` controls
+physical page ``p``; the kernel grants a user process access to a command
+page by mapping it (uncached) into the process's virtual address space.
+
+Word values written to a command address encode an operation in the top
+four bits and an argument in the remaining 28:
+
+==================  ====  =======================================================
+operation           code  meaning
+==================  ====  =======================================================
+``DMA_START``       0x0   arm a deliberate-update transfer of ``arg`` words
+                          starting at the data address corresponding to the
+                          written command address.  Must be issued with the
+                          locked CMPXCHG protocol (section 4.3).
+``SET_MODE_SINGLE``  0x1  switch the mapping covering this offset to
+                          single-write automatic update
+``SET_MODE_BLOCKED`` 0x2  switch the mapping covering this offset to
+                          blocked-write automatic update
+``REQ_INTERRUPT``    0x3  request a CPU interrupt the next time data arrives
+                          for this page (one-shot)
+``CANCEL_INTERRUPT`` 0x4  withdraw a pending arrival-interrupt request
+``FLUSH_MERGE``      0x5  terminate and send any open blocked-write packet
+                          for this node's NIC
+==================  ====  =======================================================
+
+Reads of a command address return the DMA engine status for the
+corresponding data address: 0 when the engine is free, otherwise
+``(remaining_words << 1) | base_matches`` (section 4.3).
+"""
+
+
+class CommandOp:
+    """Operation codes carried in command-memory writes (module table)."""
+
+    DMA_START = 0x0
+    SET_MODE_SINGLE = 0x1
+    SET_MODE_BLOCKED = 0x2
+    REQ_INTERRUPT = 0x3
+    CANCEL_INTERRUPT = 0x4
+    FLUSH_MERGE = 0x5
+
+    ALL = (
+        DMA_START,
+        SET_MODE_SINGLE,
+        SET_MODE_BLOCKED,
+        REQ_INTERRUPT,
+        CANCEL_INTERRUPT,
+        FLUSH_MERGE,
+    )
+
+
+ARG_MASK = 0x0FFFFFFF
+
+
+def encode_command(op, arg=0):
+    """Pack an operation and argument into a command word."""
+    if op not in CommandOp.ALL:
+        raise ValueError("unknown command op %r" % (op,))
+    if not 0 <= arg <= ARG_MASK:
+        raise ValueError("command argument %r out of range" % (arg,))
+    return (op << 28) | arg
+
+
+def decode_command(value):
+    """Unpack a command word into ``(op, arg)``."""
+    op = (value >> 28) & 0xF
+    arg = value & ARG_MASK
+    if op not in CommandOp.ALL:
+        raise ValueError("unknown command op %#x in word %#x" % (op, value))
+    return op, arg
+
+
+def dma_start_word(nwords):
+    """The command word arming an ``nwords`` deliberate-update transfer.
+
+    With op DMA_START = 0, the word is just the count -- so user code can
+    simply CMPXCHG the word count, as in the paper: "the application loads
+    a source register with n" (section 4.3).
+    """
+    return encode_command(CommandOp.DMA_START, nwords)

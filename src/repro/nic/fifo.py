@@ -1,0 +1,142 @@
+"""NIC packet FIFOs with programmable flow-control thresholds.
+
+Occupancy is tracked in *bytes* of queued packets.  Each FIFO supports a
+programmable threshold (paper section 4):
+
+- Outgoing FIFO: reaching the threshold triggers a callback that interrupts
+  the CPU, which then "waits until the FIFO drains".
+- Incoming FIFO: reaching the threshold makes the NIC stop accepting
+  packets from the network (backpressure into the mesh).
+
+Producers that cannot block (the bus snooper runs inside a synchronous bus
+callback) use :meth:`PacketFifo.put_functional`; the threshold mechanism
+exists precisely so that such puts can never overflow the capacity.  A put
+beyond capacity raises :class:`FifoOverflow` -- the tests treat that as an
+invariant violation, mirroring the paper's argument that "the Outgoing FIFO
+cannot overflow".
+"""
+
+from collections import deque
+
+from repro.sim.process import Signal, Wait
+from repro.sim.trace import Counter, TimeSeries
+
+
+class FifoOverflow(Exception):
+    """A put exceeded FIFO capacity: the flow-control invariant broke."""
+
+
+class PacketFifo:
+    """A byte-accounted packet FIFO with a threshold callback."""
+
+    def __init__(self, sim, capacity_bytes, threshold_bytes, name="fifo"):
+        if not 0 < threshold_bytes <= capacity_bytes:
+            raise ValueError("threshold must be in (0, capacity]")
+        self.sim = sim
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.threshold_bytes = threshold_bytes
+        self._packets = deque()
+        self.occupancy_bytes = 0
+        self._changed = Signal(sim, name + ".changed")
+        self.threshold_callback = None  # called once per upward crossing
+        self._threshold_armed = True
+        self.puts = Counter(name + ".puts")
+        self.gets = Counter(name + ".gets")
+        self.max_occupancy_bytes = 0
+        self.occupancy_series = TimeSeries(name + ".occupancy")
+        self.threshold_crossings = Counter(name + ".crossings")
+
+    def __len__(self):
+        return len(self._packets)
+
+    @property
+    def above_threshold(self):
+        return self.occupancy_bytes >= self.threshold_bytes
+
+    def _record(self):
+        if self.occupancy_bytes > self.max_occupancy_bytes:
+            self.max_occupancy_bytes = self.occupancy_bytes
+        self.occupancy_series.record(self.sim.now, self.occupancy_bytes)
+
+    # -- producers ------------------------------------------------------------
+
+    def put_functional(self, packet):
+        """Non-blocking enqueue (usable from synchronous bus snoops).
+
+        Raises :class:`FifoOverflow` if capacity would be exceeded; fires
+        the threshold callback on an upward threshold crossing.
+        """
+        size = packet.size_bytes
+        if self.occupancy_bytes + size > self.capacity_bytes:
+            raise FifoOverflow(
+                "%s: %d + %d bytes exceeds capacity %d"
+                % (self.name, self.occupancy_bytes, size, self.capacity_bytes)
+            )
+        self._packets.append(packet)
+        self.occupancy_bytes += size
+        self.puts.bump()
+        self._record()
+        if self.above_threshold and self._threshold_armed:
+            self._threshold_armed = False
+            self.threshold_crossings.bump()
+            if self.threshold_callback is not None:
+                self.threshold_callback()
+        self._changed.fire()
+
+    def put(self, packet):
+        """Generator: blocking enqueue -- waits for room below capacity.
+
+        Used by the deliberate-update DMA engine, which (being a device
+        process, not a bus snoop) can stall under backpressure.
+        """
+        while self.occupancy_bytes + packet.size_bytes > self.capacity_bytes:
+            yield Wait(self._changed)
+        self.put_functional(packet)
+
+    # -- consumers ---------------------------------------------------------------
+
+    def get(self):
+        """Generator: dequeue the next packet, blocking while empty."""
+        while not self._packets:
+            yield Wait(self._changed)
+        packet = self._packets.popleft()
+        self.occupancy_bytes -= packet.size_bytes
+        self.gets.bump()
+        self._record()
+        if not self.above_threshold:
+            self._threshold_armed = True
+        self._changed.fire()
+        return packet
+
+    def try_get(self):
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self.occupancy_bytes -= packet.size_bytes
+        self.gets.bump()
+        self._record()
+        if not self.above_threshold:
+            self._threshold_armed = True
+        self._changed.fire()
+        return packet
+
+    # -- waiting helpers -------------------------------------------------------------
+
+    def wait_below_threshold(self):
+        """Generator: block until occupancy drops below the threshold.
+
+        This is the body of the outgoing-FIFO-full interrupt handler: the
+        CPU parks here until the FIFO drains (paper section 4).
+        """
+        while self.above_threshold:
+            yield Wait(self._changed)
+
+    def wait_drained(self):
+        """Generator: block until the FIFO is completely empty."""
+        while self._packets:
+            yield Wait(self._changed)
+
+    def wait_nonempty(self):
+        while not self._packets:
+            yield Wait(self._changed)

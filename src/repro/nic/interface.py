@@ -1,0 +1,366 @@
+"""The assembled SHRIMP network interface datapath (paper figure 4).
+
+Outgoing path: the interface snoops CPU write transactions off the Xpress
+bus, looks the page up in the NIPT, and -- for automatic-update mappings --
+packetizes the written data into the Outgoing FIFO (merging consecutive
+writes in blocked-write mode).  An injection process drains the FIFO into
+the mesh.  Deliberate-update mappings transfer only when the DMA engine is
+armed through a command page.
+
+Incoming path: an accept process pulls packets from the mesh (stopping when
+the Incoming FIFO reaches its threshold -- backpressure), and a delivery
+process verifies each packet (absolute coordinates + CRC), checks the NIPT
+mapped-in bit, and deposits the payload directly into main memory through
+the EISA DMA path (prototype) or by mastering the Xpress bus (next-gen),
+with no CPU involvement.
+
+Flow control (paper section 4): the Outgoing FIFO's threshold interrupts
+the CPU, which waits until the FIFO drains; since the CPU does not write
+mapped pages while waiting, the Outgoing FIFO cannot overflow.
+"""
+
+from repro.memsys.address import PAGE_SIZE, page_number, page_offset
+from repro.memsys.bus import BusDevice
+from repro.mesh.packet import Packet, PacketError
+from repro.nic.command import CommandOp, decode_command
+from repro.nic.dma import DmaEngine
+from repro.nic.fifo import PacketFifo
+from repro.nic.nipt import Nipt, MappingMode
+from repro.sim.process import Process, Signal, Timeout
+from repro.sim.resources import BoundedQueue
+from repro.sim.trace import Counter
+
+
+class NicError(Exception):
+    """Raised for illegal NIC configuration."""
+
+
+class _CommandDevice(BusDevice):
+    """The command-memory bus target (paper section 4.2).
+
+    Reads return DMA engine status for the corresponding data address;
+    writes carry encoded commands.  No actual RAM is behind this device.
+    """
+
+    def __init__(self, nic):
+        self.nic = nic
+
+    def bus_read(self, addr, nwords):
+        if nwords != 1:
+            raise NicError("command memory supports single-word reads")
+        data_addr = self.nic.address_map.dram_addr_for(addr)
+        return [self.nic.dma_engine.status_for(data_addr)]
+
+    def bus_write(self, addr, words):
+        if len(words) != 1:
+            raise NicError("command memory supports single-word writes")
+        data_addr = self.nic.address_map.dram_addr_for(addr)
+        self.nic._handle_command(data_addr, words[0])
+
+
+class _MergeContext:
+    """State of the single open blocked-write packet being accumulated."""
+
+    __slots__ = ("half", "page", "start_offset", "words", "next_addr",
+                 "last_time", "flush_event")
+
+    def __init__(self, half, page, start_offset, first_word, now):
+        self.half = half
+        self.page = page
+        self.start_offset = start_offset
+        self.words = [first_word]
+        self.next_addr = page * PAGE_SIZE + start_offset + 4
+        self.last_time = now
+        self.flush_event = None
+
+
+class NetworkInterface:
+    """One node's SHRIMP network interface."""
+
+    def __init__(self, sim, node_id, bus, eisa, backplane, address_map,
+                 nic_params, cpu_originator="cache", name=None):
+        self.sim = sim
+        self.node_id = node_id
+        self.bus = bus
+        self.eisa = eisa
+        self.backplane = backplane
+        self.address_map = address_map
+        self.params = nic_params
+        self.name = name or ("nic%d" % node_id)
+        self.coords = backplane.coords_of(node_id)
+        self._cpu_originator = cpu_originator
+
+        self.nipt = Nipt(address_map.dram_pages)
+        self.outgoing_fifo = PacketFifo(
+            sim,
+            nic_params.outgoing_fifo_bytes,
+            nic_params.outgoing_interrupt_threshold,
+            self.name + ".out",
+        )
+        self.incoming_fifo = PacketFifo(
+            sim,
+            nic_params.incoming_fifo_bytes,
+            nic_params.incoming_stop_threshold,
+            self.name + ".in",
+        )
+        self.dma_engine = DmaEngine(sim, self)
+        self.command_device = _CommandDevice(self)
+        self.kernel_inbox = BoundedQueue(sim, capacity=None,
+                                         name=self.name + ".kernel_inbox")
+        self.arrival_signal = Signal(sim, self.name + ".arrival")
+
+        self._merge = None
+        self.cpu = None
+        # Optional datapath instrumentation: stage_hook(stage, packet, now)
+        # is called at "packetized", "injected", "accepted", "delivered".
+        self.stage_hook = None
+
+        # Statistics.
+        self.packets_packetized = Counter(self.name + ".packetized")
+        self.packets_injected = Counter(self.name + ".injected")
+        self.packets_delivered = Counter(self.name + ".delivered")
+        self.words_delivered = Counter(self.name + ".words_delivered")
+        self.crc_drops = Counter(self.name + ".crc_drops")
+        self.unmapped_drops = Counter(self.name + ".unmapped_drops")
+        self.arrival_interrupts = Counter(self.name + ".arrival_interrupts")
+        self.merged_writes = Counter(self.name + ".merged_writes")
+
+        # Wire into the node.
+        bus.add_snooper(self._snoop)
+        bus.attach(
+            address_map.command_base,
+            address_map.command_base + address_map.dram_bytes,
+            self.command_device,
+        )
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self):
+        """Spawn the injection, accept and delivery processes."""
+        if self._started:
+            return
+        self._started = True
+        Process(self.sim, self._injection_loop(), self.name + ".inject").start()
+        Process(self.sim, self._accept_loop(), self.name + ".accept").start()
+        Process(self.sim, self._delivery_loop(), self.name + ".deliver").start()
+
+    def attach_cpu(self, cpu):
+        """Register the node CPU for flow-control and arrival interrupts."""
+        self.cpu = cpu
+        cpu.register_interrupt_handler(
+            "outgoing-fifo-full", self.outgoing_fifo.wait_below_threshold
+        )
+        self.outgoing_fifo.threshold_callback = (
+            lambda: cpu.post_interrupt("outgoing-fifo-full")
+        )
+
+    # -- outgoing path: bus snooping (section 4) -----------------------------------
+
+    def _snoop(self, txn):
+        """Observe one bus transaction; packetize mapped automatic writes."""
+        if txn.kind != "write" or txn.originator != self._cpu_originator:
+            return
+        if not self.address_map.is_dram(txn.addr):
+            return
+        for i, word in enumerate(txn.data):
+            addr = txn.addr + 4 * i
+            page = page_number(addr)
+            offset = page_offset(addr)
+            half = self.nipt.lookup_out(page, offset)
+            if half is None or half.mode == MappingMode.DELIBERATE:
+                continue
+            if half.mode == MappingMode.AUTO_SINGLE:
+                self._emit_single(half, page, offset, word)
+            else:
+                self._merge_write(half, page, offset, word, addr)
+
+    def _emit_single(self, half, page, offset, word):
+        packet = Packet(
+            self.coords,
+            self.backplane.coords_of(half.dest_node),
+            half.dest_addr_for(offset),
+            [word],
+            created_ns=self.sim.now,
+        )
+        self.outgoing_fifo.put_functional(packet)
+        self.packets_packetized.bump()
+        self._stage("packetized", packet)
+
+    def _merge_write(self, half, page, offset, word, addr):
+        """Blocked-write automatic update: merge consecutive writes.
+
+        "Subsequent writes are merged into the same packet if they are
+        consecutive, occur within the same page, and occur within a
+        programmable time limit from one another.  Otherwise, the packet is
+        terminated and sent." (section 4.1)
+        """
+        merge = self._merge
+        now = self.sim.now
+        if merge is not None:
+            dest_start = merge.half.dest_addr_for(merge.start_offset)
+            dest_next_end = dest_start + 4 * (len(merge.words) + 1) - 1
+            mergeable = (
+                merge.half is half
+                and addr == merge.next_addr
+                and now - merge.last_time <= self.params.blocked_write_window_ns
+                and len(merge.words) < self.params.max_payload_words
+                # A packet deposits into a single destination page; stop
+                # merging at a destination page boundary.
+                and page_number(dest_start) == page_number(dest_next_end)
+            )
+            if mergeable:
+                merge.words.append(word)
+                merge.next_addr += 4
+                merge.last_time = now
+                self.merged_writes.bump()
+                self._reschedule_merge_flush()
+                return
+            self.flush_merge()
+        self._merge = _MergeContext(half, page, offset, word, now)
+        self._reschedule_merge_flush()
+
+    def _reschedule_merge_flush(self):
+        merge = self._merge
+        if merge.flush_event is not None:
+            merge.flush_event.cancel()
+        merge.flush_event = self.sim.schedule(
+            self.params.blocked_write_window_ns, self._merge_timer_fired, merge
+        )
+
+    def _merge_timer_fired(self, merge):
+        if self._merge is merge:
+            self.flush_merge()
+
+    def flush_merge(self):
+        """Terminate and send the open blocked-write packet, if any."""
+        merge = self._merge
+        if merge is None:
+            return
+        self._merge = None
+        if merge.flush_event is not None:
+            merge.flush_event.cancel()
+        packet = Packet(
+            self.coords,
+            self.backplane.coords_of(merge.half.dest_node),
+            merge.half.dest_addr_for(merge.start_offset),
+            merge.words,
+            created_ns=self.sim.now,
+        )
+        self.outgoing_fifo.put_functional(packet)
+        self.packets_packetized.bump()
+        self._stage("packetized", packet)
+
+    # -- command handling (sections 4.2, 4.3) -----------------------------------------
+
+    def _handle_command(self, data_addr, value):
+        op, arg = decode_command(value)
+        page = page_number(data_addr)
+        offset = page_offset(data_addr)
+        if op == CommandOp.DMA_START:
+            self.dma_engine.arm(data_addr, arg)
+        elif op == CommandOp.SET_MODE_SINGLE:
+            self.nipt.entry(page).set_mode(offset, MappingMode.AUTO_SINGLE)
+        elif op == CommandOp.SET_MODE_BLOCKED:
+            self.nipt.entry(page).set_mode(offset, MappingMode.AUTO_BLOCKED)
+        elif op == CommandOp.REQ_INTERRUPT:
+            self.nipt.entry(page).interrupt_on_arrival = True
+        elif op == CommandOp.CANCEL_INTERRUPT:
+            self.nipt.entry(page).interrupt_on_arrival = False
+        elif op == CommandOp.FLUSH_MERGE:
+            self.flush_merge()
+
+    # -- kernel control messages ----------------------------------------------------------
+
+    def send_kernel_message(self, dest_node, payload_words):
+        """Generator: inject a kernel-to-kernel control packet.
+
+        Used by the NIPT-consistency protocol (section 4.4): kernels
+        invalidate remote NIPT entries "by sending messages to the remote
+        kernels" over the same network.
+        """
+        packet = Packet(
+            self.coords,
+            self.backplane.coords_of(dest_node),
+            0,
+            list(payload_words),
+            kind=Packet.KERNEL,
+            created_ns=self.sim.now,
+        )
+        yield from self.outgoing_fifo.put(packet)
+        self.packets_packetized.bump()
+
+    # -- the three datapath processes ---------------------------------------------------------
+
+    def _injection_loop(self):
+        while True:
+            packet = yield from self.outgoing_fifo.get()
+            yield Timeout(self.params.snoop_ns + self.params.packetize_ns)
+            yield from self.backplane.inject(self.node_id, packet)
+            self.packets_injected.bump()
+            self._stage("injected", packet)
+
+    def _accept_loop(self):
+        while True:
+            if self.incoming_fifo.above_threshold:
+                # Flow control: stop accepting packets from the network
+                # until the FIFO drains below its threshold.
+                yield from self.incoming_fifo.wait_below_threshold()
+            packet = yield from self.backplane.receive_packet(self.node_id)
+            self.incoming_fifo.put_functional(packet)
+            self._stage("accepted", packet)
+
+    def _delivery_loop(self):
+        while True:
+            packet = yield from self.incoming_fifo.get()
+            yield Timeout(self.params.fifo_stage_ns)
+            try:
+                packet.verify(self.coords)
+            except PacketError:
+                self.crc_drops.bump()
+                continue
+            if packet.kind == Packet.KERNEL:
+                self.kernel_inbox.try_put(packet)
+                self._post_cpu_interrupt("kernel-message")
+                continue
+            if not self._deposit_allowed(packet):
+                self.unmapped_drops.bump()
+                continue
+            yield from self._deposit(packet)
+            self.packets_delivered.bump()
+            self._stage("delivered", packet)
+            self.words_delivered.bump(len(packet.payload))
+            entry = self.nipt.entry(page_number(packet.dest_addr))
+            if entry.interrupt_on_arrival:
+                entry.interrupt_on_arrival = False
+                self.arrival_interrupts.bump()
+                self._post_cpu_interrupt("network-arrival")
+            self.arrival_signal.fire(packet)
+
+    def _deposit_allowed(self, packet):
+        """NIPT mapped-in check plus page-containment sanity."""
+        addr = packet.dest_addr
+        end = addr + packet.payload_bytes - 4
+        if not self.address_map.is_dram(addr) or not self.address_map.is_dram(end):
+            return False
+        if page_number(addr) != page_number(end):
+            return False
+        return self.nipt.is_mapped_in(page_number(addr))
+
+    def _deposit(self, packet):
+        """Transfer payload to main memory without CPU assistance."""
+        if self.params.incoming_via_eisa:
+            yield from self.eisa.dma_write(packet.dest_addr, packet.payload)
+        else:
+            yield Timeout(self.params.incoming_setup_ns)
+            yield from self.bus.write(
+                packet.dest_addr, packet.payload, self.name + ".in"
+            )
+
+    def _stage(self, stage, packet):
+        if self.stage_hook is not None:
+            self.stage_hook(stage, packet, self.sim.now)
+
+    def _post_cpu_interrupt(self, cause):
+        if self.cpu is not None and cause in self.cpu._interrupt_handlers:
+            self.cpu.post_interrupt(cause)

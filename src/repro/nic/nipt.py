@@ -1,0 +1,172 @@
+"""The Network Interface Page Table (NIPT).
+
+"The NIPT has one entry for each page of physical memory on the node, and
+contains information about whether, and how, the page is mapped.  Each page
+table entry specifies the destination node and physical page number which
+is mapped to, and includes various bits to control how data is sent and
+received." (paper section 4)
+
+Page-split mappings (section 3.2): any physical page can be split between
+two separate outgoing mappings at a configurable offset, which lets the
+system accommodate mappings that are not page-aligned.  An entry therefore
+holds up to two :class:`OutgoingHalf` records covering disjoint byte ranges
+of the page.
+"""
+
+from repro.memsys.address import PAGE_SIZE, WORD_SIZE
+
+
+class NiptError(Exception):
+    """Raised for invalid NIPT configuration."""
+
+
+class MappingMode:
+    """Transfer strategies for an outgoing mapping (paper sections 2, 4)."""
+
+    AUTO_SINGLE = "auto-single"  # every write becomes a packet immediately
+    AUTO_BLOCKED = "auto-blocked"  # consecutive writes merge into one packet
+    DELIBERATE = "deliberate"  # data moves only on an explicit send command
+
+    ALL = (AUTO_SINGLE, AUTO_BLOCKED, DELIBERATE)
+    AUTOMATIC = (AUTO_SINGLE, AUTO_BLOCKED)
+
+
+class OutgoingHalf:
+    """One outgoing mapping covering ``[src_start, src_end)`` of a page.
+
+    ``dest_addr`` is the destination *physical* byte address corresponding
+    to ``src_start``; the NIC computes each packet's destination address as
+    ``dest_addr + (offset - src_start)``.
+    """
+
+    __slots__ = ("src_start", "src_end", "dest_node", "dest_addr", "mode")
+
+    def __init__(self, src_start, src_end, dest_node, dest_addr, mode):
+        if mode not in MappingMode.ALL:
+            raise NiptError("unknown mapping mode %r" % (mode,))
+        if not (0 <= src_start < src_end <= PAGE_SIZE):
+            raise NiptError(
+                "bad half range [%d, %d) in a %d-byte page"
+                % (src_start, src_end, PAGE_SIZE)
+            )
+        if src_start % WORD_SIZE or src_end % WORD_SIZE or dest_addr % WORD_SIZE:
+            raise NiptError("half boundaries and dest_addr must be word aligned")
+        self.src_start = src_start
+        self.src_end = src_end
+        self.dest_node = dest_node
+        self.dest_addr = dest_addr
+        self.mode = mode
+
+    def covers(self, offset):
+        return self.src_start <= offset < self.src_end
+
+    def dest_addr_for(self, offset):
+        if not self.covers(offset):
+            raise NiptError("offset %d outside half [%d,%d)" % (
+                offset, self.src_start, self.src_end))
+        return self.dest_addr + (offset - self.src_start)
+
+    def overlaps(self, other):
+        return self.src_start < other.src_end and other.src_start < self.src_end
+
+    def __repr__(self):
+        return "OutgoingHalf([%d,%d) -> node%d@%#x, %s)" % (
+            self.src_start,
+            self.src_end,
+            self.dest_node,
+            self.dest_addr,
+            self.mode,
+        )
+
+
+class NiptEntry:
+    """Per-physical-page state held by the network interface."""
+
+    __slots__ = ("halves", "mapped_in", "interrupt_on_arrival")
+
+    MAX_HALVES = 2  # a page can be split between two mappings (section 3.2)
+
+    def __init__(self):
+        self.halves = []
+        self.mapped_in = False
+        self.interrupt_on_arrival = False
+
+    @property
+    def mapped_out(self):
+        return bool(self.halves)
+
+    def add_half(self, half):
+        if len(self.halves) >= self.MAX_HALVES:
+            raise NiptError("page already split between two mappings")
+        for existing in self.halves:
+            if existing.overlaps(half):
+                raise NiptError("%r overlaps %r" % (half, existing))
+        self.halves.append(half)
+
+    def lookup(self, offset):
+        """Mapping half covering byte ``offset``, or None."""
+        for half in self.halves:
+            if half.covers(offset):
+                return half
+        return None
+
+    def clear_outgoing(self):
+        self.halves = []
+
+    def remove_half(self, half):
+        """Remove one specific mapping half (kernel unmap of one mapping
+        that shares a split page with another)."""
+        try:
+            self.halves.remove(half)
+        except ValueError:
+            raise NiptError("half %r not present" % (half,))
+
+    def set_mode(self, offset, mode):
+        """Change the transfer mode of the half covering ``offset``."""
+        half = self.lookup(offset)
+        if half is None:
+            raise NiptError("no outgoing mapping covers offset %d" % offset)
+        if mode not in MappingMode.ALL:
+            raise NiptError("unknown mapping mode %r" % (mode,))
+        half.mode = mode
+
+
+class Nipt:
+    """The table: one :class:`NiptEntry` per page of local physical memory."""
+
+    def __init__(self, dram_pages):
+        self.entries = [NiptEntry() for _ in range(dram_pages)]
+
+    def __len__(self):
+        return len(self.entries)
+
+    def entry(self, page):
+        if not 0 <= page < len(self.entries):
+            raise NiptError("no NIPT entry for page %r" % (page,))
+        return self.entries[page]
+
+    def map_out(self, page, half):
+        self.entry(page).add_half(half)
+
+    def unmap_out(self, page):
+        self.entry(page).clear_outgoing()
+
+    def map_in(self, page):
+        self.entry(page).mapped_in = True
+
+    def unmap_in(self, page):
+        entry = self.entry(page)
+        entry.mapped_in = False
+        entry.interrupt_on_arrival = False
+
+    def lookup_out(self, page, offset):
+        return self.entry(page).lookup(offset)
+
+    def is_mapped_in(self, page):
+        return self.entry(page).mapped_in
+
+    def mapped_out_pages(self):
+        return [i for i, e in enumerate(self.entries) if e.mapped_out]
+
+    def mapped_in_pages(self):
+        return [i for i, e in enumerate(self.entries) if e.mapped_in]

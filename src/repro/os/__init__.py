@@ -1,0 +1,46 @@
+"""The node operating system.
+
+SHRIMP runs a commodity OS (modified OSF-1/MK AD in the paper); this
+package implements the pieces the network interface design interacts with:
+
+- :mod:`~repro.os.vm` -- per-process page tables with per-page caching
+  policy, and the planner that turns a virtual mapping request into NIPT
+  halves (including section 3.2 page splits for unaligned mappings).
+- :mod:`~repro.os.process` -- user processes (program + context + address
+  space).
+- :mod:`~repro.os.scheduler` -- round-robin preemptive scheduling; SHRIMP
+  explicitly supports *general* multiprogramming with no gang-scheduling
+  requirement (paper section 1).
+- :mod:`~repro.os.kernel` -- the kernel: physical page allocator, the
+  ``map`` system call (the only kernel involvement in communication --
+  section 2), kernel-to-kernel RPC over the network, command-page
+  granting, paging, and the NIPT-consistency protocol of section 4.4.
+- :mod:`~repro.os.syscalls` -- syscall numbers and argument conventions.
+"""
+
+from repro.os.params import OsParams
+from repro.os.vm import Pte, PageTable, VmError, plan_mapping
+from repro.os.process import OsProcess, ProcessState
+from repro.os.scheduler import RoundRobinScheduler
+from repro.os.gang import Gang, GangError, GangScheduler
+from repro.os.kernel import Kernel, KernelError
+from repro.os.syscalls import Syscall, MapArgs, SyscallError
+
+__all__ = [
+    "OsParams",
+    "Pte",
+    "PageTable",
+    "VmError",
+    "plan_mapping",
+    "OsProcess",
+    "ProcessState",
+    "RoundRobinScheduler",
+    "Gang",
+    "GangError",
+    "GangScheduler",
+    "Kernel",
+    "KernelError",
+    "Syscall",
+    "MapArgs",
+    "SyscallError",
+]

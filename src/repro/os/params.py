@@ -1,0 +1,35 @@
+"""Operating-system cost parameters.
+
+The paper's central claim is that kernel work happens only at mapping time,
+never per message.  To benchmark that separation (mapping cost vs per-send
+cost, bench A4) the kernel charges instruction-count-derived time for its
+work.  The constants below are calibrated to the era's kernels: a trap is
+hundreds of cycles, and ``map`` -- which validates protection, runs a
+remote RPC and edits page tables -- costs thousands.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OsParams:
+    """Kernel cost and policy knobs."""
+
+    # Instruction-count charges for kernel paths (converted to time via the
+    # CPU clock).  These never appear in user-level per-message costs.
+    trap_instructions: int = 100  # user/kernel crossing, each way combined
+    map_local_instructions: int = 1500  # validate, pin, edit NIPT + page table
+    map_remote_instructions: int = 1000  # the destination kernel's share
+    unmap_instructions: int = 500
+    fault_instructions: int = 300  # page-fault entry/decode
+    page_io_instructions: int = 2000  # page-out/page-in bookkeeping
+    invalidate_instructions: int = 400  # per remote NIPT invalidation
+
+    # Scheduling.
+    timeslice_ns: int = 100_000
+    context_switch_instructions: int = 150
+
+    # Paging policy for pages with incoming mappings: "pin" refuses to
+    # evict them (the simple policy of section 4.4); "invalidate" runs the
+    # TLB-shootdown-style protocol.
+    consistency_policy: str = "pin"

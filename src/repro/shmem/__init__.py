@@ -1,0 +1,29 @@
+"""Shared memory on PRAM consistency (paper section 4.1).
+
+"The automatic-update page type can be used to share memory between
+processes and support a programming model based on PRAM consistency...
+Because there is a unique path from a source node to a destination node
+and the hardware guarantees that all messages from the same sender are
+delivered in the same order, software consistency schemes can be applied."
+
+This package is that software layer:
+
+- :mod:`~repro.shmem.region` -- :class:`SharedRegion`: complementary
+  automatic-update mappings giving two nodes a common address window.
+- :mod:`~repro.shmem.lock` -- a request/grant token lock for two nodes,
+  correct under PRAM consistency precisely *because* of per-sender
+  in-order delivery: the grant is written after the protected data, so
+  the grantee observes the data before it can enter the critical section.
+- :mod:`~repro.shmem.barrier` -- an N-node chain barrier over mapped flag
+  words (each node maps out at most two words, respecting the section 3.2
+  two-mappings-per-page hardware limit).
+
+All synchronisation primitives are assembly emitters: they run at user
+level on the simulated CPU, like everything else on SHRIMP's fast path.
+"""
+
+from repro.shmem.region import SharedRegion
+from repro.shmem.lock import TokenLock
+from repro.shmem.barrier import ChainBarrier
+
+__all__ = ["SharedRegion", "TokenLock", "ChainBarrier"]

@@ -1,0 +1,66 @@
+"""Token-based mutual exclusion for two nodes under PRAM consistency.
+
+PRAM consistency gives no global write order, so classic shared-memory
+locks (Peterson, Dekker, bakery) are unsound here.  What *is* guaranteed
+is per-sender in-order delivery (paper sections 3, 4.1), which makes
+token passing correct: the holder writes its critical-section data before
+it writes the grant word, so by the time the grant arrives at the peer,
+the data has arrived too -- the grant word doubles as a release fence.
+
+The lock alternates a generation-numbered token between the two sides:
+side A enters on even generations, side B on odd.  ``emit_acquire`` spins
+until the incoming token word equals the side's next expected generation;
+``emit_release`` bumps the generation and writes the outgoing token word.
+Each token word has a single writer, as PRAM sharing requires.
+
+Register convention: ``r4`` holds the side's next expected generation
+(initialise with :meth:`TokenLock.emit_init`); the emitters preserve all
+other registers.
+"""
+
+from repro.cpu.isa import Mem, R4
+from repro.memsys.address import WORD_SIZE
+
+
+class TokenLock:
+    """An alternating token lock over two shared words.
+
+    ``token_to_a`` is written only by side B and ``token_to_b`` only by
+    side A; both must lie inside a :class:`~repro.shmem.region.SharedRegion`
+    (or any complementary mapping).  Side 0 holds the token initially.
+    """
+
+    def __init__(self, token_to_a_addr, token_to_b_addr):
+        if token_to_a_addr % WORD_SIZE or token_to_b_addr % WORD_SIZE:
+            raise ValueError("token words must be word aligned")
+        if token_to_a_addr == token_to_b_addr:
+            raise ValueError("token words must be distinct")
+        self._incoming = {0: token_to_a_addr, 1: token_to_b_addr}
+        self._outgoing = {0: token_to_b_addr, 1: token_to_a_addr}
+
+    def emit_init(self, asm, side):
+        """Set up r4 = the side's first expected generation (0 or 1)."""
+        if side not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        asm.mov(R4, side)
+
+    def emit_acquire(self, asm, side):
+        """Spin until the token arrives for this side's next generation.
+
+        Side 0's generation 0 is satisfied immediately (it starts with the
+        token, the incoming word being initially zero).
+        """
+        spin = "tok_acquire_%d_%d" % (side, len(asm._code))
+        asm.label(spin)
+        asm.cmp(Mem(disp=self._incoming[side]), R4)
+        asm.jne(spin)
+
+    def emit_release(self, asm, side):
+        """Pass the token: bump the generation and publish it.
+
+        The store of the token word is the last write of the critical
+        section, so in-order delivery publishes all earlier writes first.
+        """
+        asm.inc(R4)
+        asm.mov(Mem(disp=self._outgoing[side]), R4)
+        asm.inc(R4)  # our next turn is two generations on

@@ -1,0 +1,59 @@
+"""Shared regions: complementary automatic-update mappings.
+
+A :class:`SharedRegion` gives two nodes a window of memory at the same
+address, kept coherent by duplicating each node's local updates to the
+remote copy (eager sharing).  There is no global write ordering between
+the two writers -- PRAM consistency -- so programs either write disjoint
+parts or order their writes with :mod:`repro.shmem.lock` /
+:mod:`repro.shmem.barrier`.
+"""
+
+from repro.machine import mapping
+from repro.memsys.address import WORD_SIZE, AddressError
+from repro.nic.nipt import MappingMode
+
+
+class SharedRegion:
+    """A window of memory shared by two nodes at the same address."""
+
+    def __init__(self, node_a, node_b, base, nbytes,
+                 mode=MappingMode.AUTO_SINGLE):
+        if mode not in MappingMode.AUTOMATIC:
+            raise ValueError(
+                "shared memory needs an automatic-update mode, not %r" % mode
+            )
+        if base % WORD_SIZE or nbytes % WORD_SIZE or nbytes <= 0:
+            raise AddressError("region must be word aligned and non-empty")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.base = base
+        self.nbytes = nbytes
+        self.mappings = mapping.establish_bidirectional(
+            node_a, base, node_b, base, nbytes, mode
+        )
+
+    def contains(self, addr, nbytes=WORD_SIZE):
+        return self.base <= addr and addr + nbytes <= self.base + self.nbytes
+
+    def word(self, index):
+        """Address of shared word ``index`` (bounds checked)."""
+        addr = self.base + 4 * index
+        if not self.contains(addr):
+            raise AddressError("word %d outside the shared region" % index)
+        return addr
+
+    def views(self):
+        """(node_a_view, node_b_view): the local copies as word lists.
+
+        Functional inspection for tests; after quiescence the two views
+        are identical when writers used disjoint words or proper locking.
+        """
+        nwords = self.nbytes // 4
+        return (
+            self.node_a.memory.read_words(self.base, nwords),
+            self.node_b.memory.read_words(self.base, nwords),
+        )
+
+    def converged(self):
+        view_a, view_b = self.views()
+        return view_a == view_b

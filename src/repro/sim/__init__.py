@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate every hardware model in the repository runs
+on.  It provides:
+
+- :class:`~repro.sim.engine.Simulator` -- a deterministic event queue with
+  integer-nanosecond timestamps.
+- :class:`~repro.sim.process.Process` -- generator-based cooperative
+  processes (CPUs, DMA engines, routers are all processes).
+- :class:`~repro.sim.process.Signal`, :class:`~repro.sim.process.Timeout` --
+  the two primitive blocking operations processes can yield.
+- :mod:`~repro.sim.resources` -- mutexes and bounded FIFO queues built from
+  the primitives.
+- :mod:`~repro.sim.trace` -- lightweight event tracing and counters used by
+  the measurement harness.
+
+All timestamps are integers in nanoseconds.  Using integers keeps the
+simulation exactly reproducible (no floating-point drift in event ordering).
+"""
+
+from repro.sim.engine import Simulator, SimulationError, ScheduledEvent
+from repro.sim.process import Process, Signal, Timeout, Wait, Interrupt
+from repro.sim.resources import Mutex, BoundedQueue, QueueClosed
+from repro.sim.trace import Tracer, Counter, TimeSeries
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "ScheduledEvent",
+    "Process",
+    "Signal",
+    "Timeout",
+    "Wait",
+    "Interrupt",
+    "Mutex",
+    "BoundedQueue",
+    "QueueClosed",
+    "Tracer",
+    "Counter",
+    "TimeSeries",
+]

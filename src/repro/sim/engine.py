@@ -1,0 +1,148 @@
+"""The event queue at the heart of the simulator.
+
+The engine is intentionally small: a binary heap of ``(time, seq, event)``
+entries.  ``seq`` is a monotonically increasing tie-breaker so that events
+scheduled for the same instant fire in the order they were scheduled, which
+makes every simulation run exactly deterministic.
+"""
+
+import heapq
+
+
+class SimulationError(Exception):
+    """Raised for illegal use of the simulation engine."""
+
+
+class ScheduledEvent:
+    """A callback registered with the simulator.
+
+    Returned by :meth:`Simulator.schedule` so callers can cancel the event
+    before it fires.  Cancellation is O(1): the entry stays in the heap but
+    is skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time, callback, args):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "ScheduledEvent(t={}, {}, {})".format(
+            self.time, getattr(self.callback, "__name__", self.callback), state
+        )
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer time.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(100, fire_the_laser)
+        sim.run()
+
+    Time is an opaque integer; throughout this repository it is interpreted
+    as nanoseconds.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._heap = []
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self):
+        """Current simulation time (integer nanoseconds)."""
+        return self._now
+
+    @property
+    def event_count(self):
+        """Number of events executed so far (for budget guards in tests)."""
+        return self._event_count
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        Returns a :class:`ScheduledEvent` that can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay=%r)" % (delay,))
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at t=%r, now is t=%r" % (time, self._now)
+            )
+        event = ScheduledEvent(time, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap:
+            time, _seq, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self):
+        """Execute the single next event.  Returns False if none remain."""
+        while self._heap:
+            time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run until the queue drains, ``until`` is reached, or the budget hits.
+
+        ``until`` is an absolute time: events scheduled strictly after it are
+        left in the queue and the clock is advanced to ``until``.
+        ``max_events`` bounds the number of executed events; exceeding it
+        raises :class:`SimulationError` (it is a runaway guard, not a pause).
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        "exceeded max_events=%d at t=%d" % (max_events, self._now)
+                    )
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run with only the runaway guard; convenience for tests."""
+        return self.run(max_events=max_events)

@@ -1,0 +1,206 @@
+"""Generator-based cooperative processes.
+
+A simulation process is a Python generator that yields *blocking requests*
+to the scheduler:
+
+- ``Timeout(dt)``        -- resume after ``dt`` nanoseconds.
+- ``Wait(signal)``       -- resume when ``signal.fire(value)`` is called;
+                            the fired value is sent back into the generator.
+- another ``Process``    -- resume when that process finishes (join); the
+                            joined process's return value is sent back.
+
+Anything more elaborate (bus arbitration, FIFO puts) is composed from these
+with ``yield from``.  Processes can be interrupted: :meth:`Process.interrupt`
+throws an :class:`Interrupt` exception into the generator at its current
+yield point, which models device-raised CPU interrupts.
+"""
+
+
+class Timeout:
+    """Yieldable request: resume the process after ``delay`` ns."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise ValueError("negative timeout: %r" % (delay,))
+        self.delay = delay
+
+    def __repr__(self):
+        return "Timeout(%d)" % self.delay
+
+
+class Signal:
+    """A broadcast wake-up channel.
+
+    Processes block on a signal with ``yield Wait(sig)`` (or the shorthand
+    ``yield sig``).  ``fire(value)`` wakes every process currently waiting
+    and delivers ``value`` to each.  A signal can be fired any number of
+    times; only the waiters present at fire time are woken (no buffering --
+    use :class:`repro.sim.resources.BoundedQueue` for buffered hand-off).
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fire_count")
+
+    def __init__(self, sim, name="signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self):
+        return len(self._waiters)
+
+    def fire(self, value=None):
+        """Wake all current waiters, delivering ``value`` to each."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0, process._resume, value)
+
+    def _add_waiter(self, process):
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process):
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    def __repr__(self):
+        return "Signal(%s, %d waiting)" % (self.name, len(self._waiters))
+
+
+class Wait:
+    """Yieldable request: block until the given signal fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal):
+        self.signal = signal
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` identifies the interrupting device or reason.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """Wraps a generator and drives it through the simulator.
+
+    The generator runs until it returns (``StopIteration``) or raises.  The
+    return value is recorded in :attr:`result` and any processes joined on
+    this one are woken with it.  An uncaught exception is re-raised out of
+    the simulator's event loop (failures must not pass silently).
+    """
+
+    def __init__(self, sim, generator, name="process"):
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.finished = False
+        self.result = None
+        self._joiners = []
+        self._waiting_on = None  # Signal we are parked on, for interrupts
+        self._pending_resume = None  # ScheduledEvent for Timeout, cancellable
+        self.started = False
+
+    def start(self, delay=0):
+        """Begin executing the process ``delay`` ns from now."""
+        if self.started:
+            raise RuntimeError("process %r already started" % self.name)
+        self.started = True
+        self.sim.schedule(delay, self._resume, None)
+        return self
+
+    # -- scheduler interface -------------------------------------------------
+
+    def _resume(self, value):
+        if self.finished:
+            return
+        self._waiting_on = None
+        self._pending_resume = None
+        try:
+            request = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._park(request)
+
+    def _throw(self, exc):
+        if self.finished:
+            return
+        self._waiting_on = None
+        self._pending_resume = None
+        try:
+            request = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._park(request)
+
+    def _park(self, request):
+        """Register the blocking request the generator just yielded."""
+        if isinstance(request, Timeout):
+            self._pending_resume = self.sim.schedule(request.delay, self._resume, None)
+        elif isinstance(request, Wait):
+            self._waiting_on = request.signal
+            request.signal._add_waiter(self)
+        elif isinstance(request, Signal):  # shorthand: yield sig
+            self._waiting_on = request
+            request._add_waiter(self)
+        elif isinstance(request, Process):  # join
+            if request.finished:
+                self.sim.schedule(0, self._resume, request.result)
+            else:
+                request._joiners.append(self)
+        else:
+            raise TypeError(
+                "process %r yielded unsupported request %r" % (self.name, request)
+            )
+
+    def _finish(self, result):
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim.schedule(0, joiner._resume, result)
+
+    # -- public operations ---------------------------------------------------
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process must currently be parked (on a timeout, signal or join);
+        interrupting a finished process is a no-op.
+        """
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        if self._pending_resume is not None:
+            self._pending_resume.cancel()
+            self._pending_resume = None
+        self.sim.schedule(0, self._throw, Interrupt(cause))
+
+    def __repr__(self):
+        state = "finished" if self.finished else ("running" if self.started else "new")
+        return "Process(%s, %s)" % (self.name, state)
+
+
+def wait_until(sim, signal, predicate):
+    """Helper generator: block on ``signal`` until ``predicate()`` is true.
+
+    Checks the predicate before the first wait, so it returns immediately
+    (well, after zero yields) if the condition already holds.
+    """
+    while not predicate():
+        yield Wait(signal)

@@ -1,0 +1,167 @@
+"""Synchronisation resources composed from the process primitives.
+
+These are deliberately simple: a FIFO mutex (models one-at-a-time hardware
+resources like a bus or a single DMA engine) and a bounded queue (models
+hardware FIFOs with blocking put/get).
+"""
+
+from collections import deque
+
+from repro.sim.process import Signal, Wait
+
+
+class Mutex:
+    """A *fair* (FIFO ticket) mutual-exclusion lock.
+
+    Fairness matters: hardware arbiters (the memory bus, the EISA channel,
+    router output ports) grant requesters in order.  A naive
+    release-then-race lock lets a spinning CPU re-acquire the bus in the
+    same event in which it released it, starving parked devices (e.g. the
+    DMA engine) indefinitely.  Tickets make the grant order the arrival
+    order regardless of wake-up scheduling.
+
+    Usage inside a process generator::
+
+        yield from mutex.acquire(owner="cpu")
+        try:
+            ...critical section...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, sim, name="mutex"):
+        self.sim = sim
+        self.name = name
+        self._next_ticket = 0
+        self._serving = 0
+        self.owner = None
+        self._released = Signal(sim, name + ".released")
+        self.acquire_count = 0
+        self.contention_count = 0
+
+    @property
+    def locked(self):
+        return self._serving < self._next_ticket
+
+    def acquire(self, owner=None):
+        """Generator: block until the lock is held by the caller (FIFO)."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        if self._serving != ticket:
+            self.contention_count += 1
+        while self._serving != ticket:
+            yield Wait(self._released)
+        self.owner = owner
+        self.acquire_count += 1
+
+    def try_acquire(self, owner=None):
+        """Non-blocking acquire.  Returns True on success."""
+        if self.locked:
+            return False
+        self._next_ticket += 1
+        self.owner = owner
+        self.acquire_count += 1
+        return True
+
+    def release(self):
+        if not self.locked:
+            raise RuntimeError("release of unlocked mutex %r" % self.name)
+        self._serving += 1
+        self.owner = None
+        self._released.fire()
+
+
+class QueueClosed(Exception):
+    """Raised when getting from a closed, drained queue."""
+
+
+class BoundedQueue:
+    """A bounded FIFO with blocking ``put``/``get`` generators.
+
+    ``capacity=None`` means unbounded.  ``put`` blocks while full, ``get``
+    blocks while empty.  Items are delivered in insertion order.  Used to
+    model hardware FIFOs where exact threshold behaviour is not needed; the
+    NIC FIFOs (which have programmable thresholds) wrap this with extra
+    bookkeeping.
+    """
+
+    def __init__(self, sim, capacity=None, name="queue"):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items = deque()
+        self._not_full = Signal(sim, name + ".not_full")
+        self._not_empty = Signal(sim, name + ".not_empty")
+        self._closed = False
+        self.put_count = 0
+        self.get_count = 0
+        self.max_occupancy = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def is_full(self):
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def is_empty(self):
+        return not self._items
+
+    def close(self):
+        """No further puts; pending/ future gets drain then raise QueueClosed."""
+        self._closed = True
+        self._not_empty.fire()
+
+    def put(self, item):
+        """Generator: enqueue ``item``, blocking while the queue is full."""
+        if self._closed:
+            raise QueueClosed(self.name)
+        while self.is_full():
+            yield Wait(self._not_full)
+            if self._closed:
+                raise QueueClosed(self.name)
+        self._items.append(item)
+        self.put_count += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+        self._not_empty.fire()
+
+    def try_put(self, item):
+        """Non-blocking put.  Returns True if the item was enqueued."""
+        if self._closed or self.is_full():
+            return False
+        self._items.append(item)
+        self.put_count += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+        self._not_empty.fire()
+        return True
+
+    def get(self):
+        """Generator: dequeue one item, blocking while the queue is empty."""
+        while not self._items:
+            if self._closed:
+                raise QueueClosed(self.name)
+            yield Wait(self._not_empty)
+        item = self._items.popleft()
+        self.get_count += 1
+        self._not_full.fire()
+        return item
+
+    def try_get(self):
+        """Non-blocking get.  Returns (True, item) or (False, None)."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self.get_count += 1
+        self._not_full.fire()
+        return True, item
+
+    def peek(self):
+        """Head item without removing it, or None if empty."""
+        return self._items[0] if self._items else None

@@ -1,0 +1,40 @@
+"""Tests for the datapath latency breakdown instrumentation."""
+
+from repro.analysis import measure_latency_breakdown
+from repro.analysis.breakdown import STAGES
+from repro.machine.config import eisa_prototype, next_generation
+
+
+def test_stages_in_order():
+    result = measure_latency_breakdown()
+    times = [result[stage] for stage in STAGES]
+    assert times == sorted(times)
+
+
+def test_total_matches_deltas():
+    result = measure_latency_breakdown()
+    deltas = [v for k, v in result.items() if k.startswith("delta:")]
+    assert sum(deltas) == result["total"]
+    assert all(d >= 0 for d in deltas)
+
+
+def test_total_matches_headline_latency():
+    result = measure_latency_breakdown()
+    assert result["total"] < 2000
+
+
+def test_deposit_stage_shrinks_next_gen():
+    """The accepted->delivered stage contains the EISA deposit; bypassing
+    EISA must shrink it (the paper's bottleneck story at packet scale)."""
+    eisa = measure_latency_breakdown(eisa_prototype)
+    nextgen = measure_latency_breakdown(next_generation)
+    assert nextgen["delta:delivered"] < eisa["delta:delivered"]
+    assert nextgen["total"] < eisa["total"]
+
+
+def test_network_stage_dominated_by_software_stages():
+    """injected->accepted is the pure mesh transit; it is a small share
+    of the end-to-end figure (hardware routing is nearly negligible)."""
+    result = measure_latency_breakdown()
+    transit = result["delta:accepted"]
+    assert transit < result["total"] / 2

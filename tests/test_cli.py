@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro.analysis`` experiment CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+def test_table1_section():
+    result = run_cli("table1")
+    assert result.returncode == 0
+    assert "single buffering" in result.stdout
+    assert "151 (73+78)" in result.stdout
+
+
+def test_comparison_section():
+    result = run_cli("comparison")
+    assert result.returncode == 0
+    assert "iPSC/2" in result.stdout
+
+
+def test_unknown_section_fails():
+    result = run_cli("nonsense")
+    assert result.returncode == 2
+    assert "available:" in result.stdout
+
+
+def test_breakdown_section():
+    result = run_cli("breakdown")
+    assert result.returncode == 0
+    assert "TOTAL" in result.stdout
+    assert "delivered" in result.stdout
+
+
+def test_latency_section():
+    result = run_cli("latency")
+    assert result.returncode == 0
+    assert "EISA prototype" in result.stdout
+    assert "Latency vs hop count" in result.stdout
+
+
+def test_multiple_sections():
+    result = run_cli("comparison", "table1")
+    assert result.returncode == 0
+    assert result.stdout.index("iPSC/2") < result.stdout.index(
+        "single buffering"
+    )

@@ -1,0 +1,86 @@
+"""Meta-tests guarding the repository's deliverables.
+
+These keep the documentation and the code from drifting apart: every
+module documented, every bench named in DESIGN.md present, every example
+listed, the paper-comparison tables intact.
+"""
+
+import importlib
+import pathlib
+import pkgutil
+import re
+
+import repro
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        module.__name__
+        for module in iter_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert undocumented == []
+
+
+def test_every_public_class_documented():
+    undocumented = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not isinstance(obj, type):
+                continue
+            if obj.__module__ != module.__name__:
+                continue
+            if not (obj.__doc__ or "").strip():
+                undocumented.append("%s.%s" % (module.__name__, name))
+    assert undocumented == []
+
+
+def test_design_md_bench_index_files_exist():
+    text = (ROOT / "DESIGN.md").read_text()
+    benches = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+    assert benches, "DESIGN.md lists no benches?"
+    for name in benches:
+        assert (ROOT / "benchmarks" / name).exists(), name
+
+
+def test_all_bench_files_are_indexed_in_design_md():
+    text = (ROOT / "DESIGN.md").read_text()
+    on_disk = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+    indexed = set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+    assert on_disk <= indexed, on_disk - indexed
+
+
+def test_readme_lists_every_example():
+    text = (ROOT / "README.md").read_text()
+    for example in (ROOT / "examples").glob("*.py"):
+        assert example.name in text, (
+            "%s missing from README" % example.name
+        )
+
+
+def test_experiments_md_has_all_table1_rows():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    from repro.analysis.table1 import PAPER_TABLE1
+
+    for primitive in PAPER_TABLE1:
+        assert primitive in text, primitive
+
+
+def test_required_top_level_files_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "pyproject.toml"):
+        assert (ROOT / name).exists(), name
+    assert (ROOT / "examples" / "quickstart.py").exists()
+
+
+def test_docs_directory_complete():
+    docs = {p.name for p in (ROOT / "docs").glob("*.md")}
+    assert {"isa.md", "architecture.md", "os.md", "simulation.md",
+            "primitives.md"} <= docs

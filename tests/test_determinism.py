@@ -1,0 +1,52 @@
+"""Determinism: identical runs produce identical simulations.
+
+Every experiment in this repository is reproducible to the event: same
+event counts, same final times, same measured values.  This is what lets
+the benchmarks pin exact instruction counts and latencies.
+"""
+
+from repro.analysis import measure_store_latency
+from repro.analysis.table1 import measure_csend_crecv, measure_single_buffering
+from repro.cpu import Asm, Context, Mem
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim import Process
+
+
+def _one_run():
+    system = ShrimpSystem(4, 4)
+    system.start()
+    a, b = system.nodes[0], system.nodes[15]
+    mapping.establish(a, 0x10000, b, 0x20000, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+    asm = Asm("w")
+    for i in range(32):
+        asm.mov(Mem(disp=0x10000 + 4 * (i % 16)), i)
+    asm.halt()
+    Process(
+        system.sim,
+        a.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "w",
+    ).start()
+    system.run()
+    return (
+        system.sim.now,
+        system.sim.event_count,
+        b.nic.packets_delivered.value,
+        b.memory.read_words(0x20000, 16),
+        a.cpu.counts.total,
+    )
+
+
+def test_identical_runs_identical_results():
+    assert _one_run() == _one_run()
+
+
+def test_latency_measurement_is_deterministic():
+    assert measure_store_latency() == measure_store_latency()
+
+
+def test_table1_measurements_are_deterministic():
+    assert measure_single_buffering() == measure_single_buffering()
+    assert measure_csend_crecv() == measure_csend_crecv()

@@ -1,0 +1,32 @@
+"""The examples are part of the contract: each must run clean."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    args = [sys.executable, str(script)]
+    # Keep the slower loops short in CI.
+    if script.name == "ping_pong.py":
+        args.append("10")
+    if script.name == "stencil.py":
+        args.append("2")
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout or "round trip" in result.stdout

@@ -1,0 +1,86 @@
+"""Tests for the fault-injection toolkit and the NIC's defences."""
+
+import pytest
+
+from repro.analysis.faults import (
+    CorruptEveryNth,
+    MisrouteEveryNth,
+    run_corruption_experiment,
+)
+from repro.cpu import Asm, Context, Mem
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim import Process
+
+SRC, DST = 0x10000, 0x20000
+
+
+def make_system(nodes=2):
+    system = ShrimpSystem(nodes, 1)
+    system.start()
+    a, b = system.nodes[0], system.nodes[1]
+    mapping.establish(a, SRC, b, DST, PAGE_SIZE, MappingMode.AUTO_SINGLE)
+    return system, a, b
+
+
+def drive_stores(system, node, count):
+    asm = Asm("driver")
+    for i in range(count):
+        asm.mov(Mem(disp=SRC + 4 * i), i + 1)
+    asm.halt()
+    Process(
+        system.sim,
+        node.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "driver",
+    ).start()
+    system.run()
+
+
+class TestCorruption:
+    def test_exact_drop_accounting(self):
+        system, a, b = make_system()
+        delivered, dropped, intact = run_corruption_experiment(
+            system, a, b, every_nth=4, store_count=20, src=SRC, dst=DST
+        )
+        assert dropped == 5
+        assert delivered == 15
+        assert intact == 15
+
+    def test_every_packet_corrupted_nothing_delivered(self):
+        system, a, b = make_system()
+        delivered, dropped, intact = run_corruption_experiment(
+            system, a, b, every_nth=1, store_count=10, src=SRC, dst=DST
+        )
+        assert (delivered, dropped, intact) == (0, 10, 0)
+
+    def test_detach_restores_clean_path(self):
+        system, a, b = make_system()
+        tap = CorruptEveryNth(a.nic, 1)
+        tap.detach()
+        drive_stores(system, a, 5)
+        assert b.nic.crc_drops.value == 0
+        assert b.nic.packets_delivered.value == 5
+
+    def test_bad_interval_rejected(self):
+        system, a, _b = make_system()
+        with pytest.raises(ValueError):
+            CorruptEveryNth(a.nic, 0)
+
+
+class TestMisrouting:
+    def test_misrouted_packets_rejected_at_wrong_node(self):
+        system = ShrimpSystem(3, 1)
+        system.start()
+        a, b, c = system.nodes
+        mapping.establish(a, SRC, b, DST, PAGE_SIZE, MappingMode.AUTO_SINGLE)
+        tap = MisrouteEveryNth(a.nic, every_nth=2, wrong_node=2)
+        drive_stores(system, a, 10)
+        # Half the packets went to node 2, which rejects them (the worm
+        # arrived, but the CRC-covered header disagrees).
+        assert tap.injected == 5
+        assert c.nic.crc_drops.value == 5
+        assert c.nic.packets_delivered.value == 0
+        assert b.nic.packets_delivered.value == 5
+        # Node 2's memory untouched.
+        assert all(c.memory.read_word(DST + 4 * i) == 0 for i in range(10))

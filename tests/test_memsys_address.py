@@ -1,0 +1,139 @@
+"""Unit tests for address geometry and the physical address map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsys.address import (
+    PAGE_SIZE,
+    WORD_SIZE,
+    WORDS_PER_PAGE,
+    AddressError,
+    page_number,
+    page_offset,
+    page_base,
+    word_aligned,
+    split_words,
+    PhysicalAddressMap,
+)
+
+
+def test_geometry_constants():
+    assert PAGE_SIZE == 4096
+    assert WORD_SIZE == 4
+    assert WORDS_PER_PAGE == 1024
+
+
+def test_page_helpers():
+    assert page_number(0) == 0
+    assert page_number(4095) == 0
+    assert page_number(4096) == 1
+    assert page_offset(4096 + 12) == 12
+    assert page_base(3) == 3 * 4096
+
+
+def test_word_aligned():
+    assert word_aligned(0)
+    assert word_aligned(4)
+    assert not word_aligned(2)
+
+
+class TestSplitWords:
+    def test_within_one_page(self):
+        assert split_words(100 * 4, 10) == [(0, 400, 10)]
+
+    def test_exact_page(self):
+        assert split_words(0, WORDS_PER_PAGE) == [(0, 0, WORDS_PER_PAGE)]
+
+    def test_crosses_boundary(self):
+        # Start 2 words before the end of page 0, 5 words total.
+        addr = PAGE_SIZE - 2 * WORD_SIZE
+        assert split_words(addr, 5) == [
+            (0, PAGE_SIZE - 8, 2),
+            (1, 0, 3),
+        ]
+
+    def test_multiple_pages(self):
+        runs = split_words(0, 3 * WORDS_PER_PAGE)
+        assert runs == [
+            (0, 0, WORDS_PER_PAGE),
+            (1, 0, WORDS_PER_PAGE),
+            (2, 0, WORDS_PER_PAGE),
+        ]
+
+    def test_zero_words(self):
+        assert split_words(0, 0) == []
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(AddressError):
+            split_words(3, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            split_words(0, -1)
+
+    @given(
+        addr_words=st.integers(min_value=0, max_value=5000),
+        nwords=st.integers(min_value=0, max_value=5000),
+    )
+    def test_runs_cover_exactly(self, addr_words, nwords):
+        """Property: runs are contiguous, within-page, and total nwords."""
+        addr = addr_words * WORD_SIZE
+        runs = split_words(addr, nwords)
+        assert sum(count for _p, _o, count in runs) == nwords
+        cursor = addr
+        for page, offset, count in runs:
+            assert page_base(page) + offset == cursor
+            assert offset + count * WORD_SIZE <= PAGE_SIZE
+            cursor += count * WORD_SIZE
+
+
+class TestPhysicalAddressMap:
+    def test_default_layout(self):
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        assert amap.dram_pages == 256
+        assert amap.command_base == 2 << 20
+
+    def test_dram_and_command_ranges(self):
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        assert amap.is_dram(0)
+        assert amap.is_dram((1 << 20) - 4)
+        assert not amap.is_dram(1 << 20)
+        assert amap.is_command(2 << 20)
+        assert not amap.is_command((2 << 20) + (1 << 20))
+
+    def test_command_addr_round_trip(self):
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        dram = 0x1234 & ~3
+        cmd = amap.command_addr_for(dram)
+        assert amap.is_command(cmd)
+        assert amap.dram_addr_for(cmd) == dram
+
+    def test_command_page_round_trip(self):
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        cpage = amap.command_page_for(7)
+        assert amap.dram_page_for_command_page(cpage) == 7
+
+    def test_command_correspondence_is_distance(self):
+        """Paper 4.2: assignment is determined by the distance between regions."""
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        for dram_addr in (0, 4096, 8192 + 64):
+            assert amap.command_addr_for(dram_addr) - dram_addr == amap.command_base
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(AddressError):
+            PhysicalAddressMap(dram_bytes=0)
+        with pytest.raises(AddressError):
+            PhysicalAddressMap(dram_bytes=4097)
+        with pytest.raises(AddressError):
+            PhysicalAddressMap(dram_bytes=1 << 20, command_base=100)
+
+    def test_bad_lookups_rejected(self):
+        amap = PhysicalAddressMap(dram_bytes=1 << 20)
+        with pytest.raises(AddressError):
+            amap.command_addr_for(1 << 20)
+        with pytest.raises(AddressError):
+            amap.dram_addr_for(0)
+        with pytest.raises(AddressError):
+            amap.command_page_for(10_000)
+        with pytest.raises(AddressError):
+            amap.dram_page_for_command_page(0)

@@ -1,0 +1,211 @@
+"""Unit tests for the Xpress bus: decoding, timing, snooping, cmpxchg."""
+
+import pytest
+
+from repro.sim import Simulator, Process
+from repro.memsys import PhysicalMemory, XpressBus, DramDevice, BusError, MemsysParams
+from repro.memsys.bus import BusDevice
+
+
+def make_bus(dram_bytes=4096 * 4):
+    sim = Simulator()
+    params = MemsysParams()
+    bus = XpressBus(sim, params)
+    mem = PhysicalMemory(dram_bytes)
+    bus.attach(0, dram_bytes, DramDevice(mem, params.dram_access_ns))
+    return sim, bus, mem, params
+
+
+def run(sim, gen):
+    p = Process(sim, gen, "test").start()
+    sim.run_until_idle()
+    assert p.finished
+    return p.result
+
+
+def test_write_then_read_round_trip():
+    sim, bus, mem, _params = make_bus()
+
+    def proc():
+        yield from bus.write(0x100, [7, 8, 9], "cpu")
+        data = yield from bus.read(0x100, 3, "cpu")
+        return data
+
+    assert run(sim, proc()) == [7, 8, 9]
+    assert mem.read_word(0x104) == 8
+
+
+def test_timing_charged_per_word():
+    sim, bus, _mem, params = make_bus()
+
+    def proc():
+        yield from bus.write(0, [1] * 10, "cpu")
+
+    run(sim, proc())
+    expected = params.bus_arbitration_ns + 10 * params.bus_word_ns + params.dram_access_ns
+    assert sim.now == expected
+
+
+def test_unclaimed_address_raises():
+    sim, bus, _mem, _params = make_bus()
+
+    def proc():
+        yield from bus.read(0xDEAD0000, 1, "cpu")
+
+    with pytest.raises(BusError):
+        run(sim, proc())
+
+
+def test_cross_device_transaction_rejected():
+    sim, bus, _mem, _params = make_bus(dram_bytes=4096)
+
+    def proc():
+        yield from bus.read(4092, 2, "cpu")
+
+    with pytest.raises(BusError):
+        run(sim, proc())
+
+
+def test_overlapping_attach_rejected():
+    sim, bus, _mem, _params = make_bus(dram_bytes=4096)
+    with pytest.raises(BusError):
+        bus.attach(2048, 8192, DramDevice(PhysicalMemory(8192), 0))
+
+
+def test_bus_serialises_masters():
+    """Two masters writing concurrently must not overlap bus tenures."""
+    sim, bus, _mem, params = make_bus()
+    completion = []
+
+    def master(name, addr):
+        yield from bus.write(addr, [1] * 4, name)
+        completion.append((name, sim.now))
+
+    Process(sim, master("a", 0), "a").start()
+    Process(sim, master("b", 64), "b").start()
+    sim.run_until_idle()
+    per_txn = params.bus_arbitration_ns + 4 * params.bus_word_ns + params.dram_access_ns
+    assert completion[0][1] == per_txn
+    assert completion[1][1] == 2 * per_txn
+
+
+def test_snoopers_observe_writes_with_data():
+    sim, bus, _mem, _params = make_bus()
+    seen = []
+    bus.add_snooper(lambda txn: seen.append((txn.kind, txn.addr, list(txn.data))))
+
+    def proc():
+        yield from bus.write(0x40, [5, 6], "cpu")
+        yield from bus.read(0x40, 1, "cpu")
+
+    run(sim, proc())
+    assert ("write", 0x40, [5, 6]) in seen
+    assert ("read", 0x40, [5]) in seen
+
+
+def test_snooper_sees_originator():
+    sim, bus, _mem, _params = make_bus()
+    origins = []
+    bus.add_snooper(lambda txn: origins.append(txn.originator))
+
+    def proc():
+        yield from bus.write(0, [1], "dma-engine")
+
+    run(sim, proc())
+    assert origins == ["dma-engine"]
+
+
+class TestCmpxchg:
+    def test_swap_on_match(self):
+        sim, bus, mem, _params = make_bus()
+        mem.write_word(0x20, 0)
+
+        def proc():
+            old, swapped = yield from bus.cmpxchg(0x20, 0, 99, "cpu")
+            return old, swapped
+
+        old, swapped = run(sim, proc())
+        assert (old, swapped) == (0, True)
+        assert mem.read_word(0x20) == 99
+
+    def test_no_swap_on_mismatch(self):
+        sim, bus, mem, _params = make_bus()
+        mem.write_word(0x20, 55)
+
+        def proc():
+            return (yield from bus.cmpxchg(0x20, 0, 99, "cpu"))
+
+        old, swapped = run(sim, proc())
+        assert (old, swapped) == (55, False)
+        assert mem.read_word(0x20) == 55
+
+    def test_locked_transactions_marked(self):
+        sim, bus, mem, _params = make_bus()
+        locked_flags = []
+        bus.add_snooper(lambda txn: locked_flags.append((txn.kind, txn.locked)))
+
+        def proc():
+            yield from bus.cmpxchg(0x20, 0, 1, "cpu")
+
+        run(sim, proc())
+        assert ("read", True) in locked_flags
+        assert ("write", True) in locked_flags
+
+    def test_atomic_against_other_masters(self):
+        """A competing write cannot slip between the read and write cycles."""
+        sim, bus, mem, _params = make_bus()
+        order = []
+        bus.add_snooper(
+            lambda txn: order.append((txn.kind, txn.originator, txn.locked))
+        )
+
+        def cas():
+            yield from bus.cmpxchg(0x20, 0, 1, "cas")
+
+        def writer():
+            yield from bus.write(0x20, [42], "writer")
+
+        Process(sim, cas(), "cas").start()
+        Process(sim, writer(), "writer").start()
+        sim.run_until_idle()
+        # The locked pair must be adjacent in bus order.
+        locked_indices = [i for i, (_k, o, _l) in enumerate(order) if o == "cas"]
+        assert locked_indices == [0, 1]
+
+
+def test_counters():
+    sim, bus, _mem, _params = make_bus()
+
+    def proc():
+        yield from bus.write(0, [1, 2], "cpu")
+        yield from bus.read(0, 2, "cpu")
+
+    run(sim, proc())
+    assert bus.transactions.value == 2
+    assert bus.words_moved.value == 4
+    assert bus.busy_ns > 0
+
+
+class _StubDevice(BusDevice):
+    def __init__(self):
+        self.writes = []
+
+    def bus_read(self, addr, nwords):
+        return [0xAB] * nwords
+
+    def bus_write(self, addr, words):
+        self.writes.append((addr, list(words)))
+
+
+def test_multiple_devices_decoded_by_range():
+    sim, bus, _mem, _params = make_bus(dram_bytes=4096)
+    stub = _StubDevice()
+    bus.attach(0x10000, 0x20000, stub)
+
+    def proc():
+        data = yield from bus.read(0x10004, 2, "cpu")
+        yield from bus.write(0x10008, [1], "cpu")
+        return data
+
+    assert run(sim, proc()) == [0xAB, 0xAB]
+    assert stub.writes == [(0x10008, [1])]

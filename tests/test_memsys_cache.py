@@ -1,0 +1,242 @@
+"""Unit tests for the snooping cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator, Process
+from repro.memsys import (
+    PhysicalMemory,
+    XpressBus,
+    DramDevice,
+    Cache,
+    CachePolicy,
+    MemsysParams,
+)
+
+WB = CachePolicy.WRITE_BACK
+WT = CachePolicy.WRITE_THROUGH
+UC = CachePolicy.UNCACHED
+
+
+def make_system(dram_bytes=64 * 1024, **param_overrides):
+    sim = Simulator()
+    params = MemsysParams(**param_overrides)
+    bus = XpressBus(sim, params)
+    mem = PhysicalMemory(dram_bytes)
+    bus.attach(0, dram_bytes, DramDevice(mem, params.dram_access_ns))
+    cache = Cache(sim, bus, params, name="cache")
+    return sim, bus, mem, cache, params
+
+
+def run(sim, gen):
+    p = Process(sim, gen, "test").start()
+    sim.run_until_idle()
+    assert p.finished
+    return p.result
+
+
+class TestWriteThrough:
+    def test_write_reaches_memory_immediately(self):
+        sim, bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x100, 7, WT)
+
+        run(sim, proc())
+        assert mem.read_word(0x100) == 7
+
+    def test_write_is_visible_on_bus(self):
+        """The property the NIC snooper depends on (paper section 4)."""
+        sim, bus, mem, cache, _p = make_system()
+        writes = []
+        bus.add_snooper(
+            lambda t: writes.append(t.addr) if t.kind == "write" else None
+        )
+
+        def proc():
+            for i in range(4):
+                yield from cache.write(0x200 + 4 * i, i, WT)
+
+        run(sim, proc())
+        assert writes == [0x200, 0x204, 0x208, 0x20C]
+
+    def test_no_write_allocate(self):
+        sim, _bus, _mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x300, 1, WT)
+
+        run(sim, proc())
+        assert not cache.contains(0x300)
+
+    def test_updates_present_line(self):
+        sim, _bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.read(0x400, WT)  # allocate via read
+            yield from cache.write(0x400, 9, WT)
+            return (yield from cache.read(0x400, WT))
+
+        assert run(sim, proc()) == 9
+        assert cache.contains(0x400)
+        assert not cache.is_dirty(0x400)
+
+
+class TestWriteBack:
+    def test_write_does_not_reach_memory(self):
+        sim, _bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x100, 7, WB)
+
+        run(sim, proc())
+        assert mem.read_word(0x100) == 0
+        assert cache.is_dirty(0x100)
+
+    def test_read_after_write_hits(self):
+        sim, _bus, _mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x100, 7, WB)
+            return (yield from cache.read(0x100, WB))
+
+        assert run(sim, proc()) == 7
+        assert cache.hits.value >= 1
+
+    def test_eviction_writes_back_dirty_line(self):
+        # Direct-mapped tiny cache forces conflict eviction.
+        sim, _bus, mem, cache, _p = make_system(cache_sets=2, cache_assoc=1)
+        line = 32
+        conflict = 0x100 + 2 * line * 2  # same set (2 sets)
+
+        def proc():
+            yield from cache.write(0x100, 7, WB)
+            yield from cache.read(conflict, WB)  # evicts dirty line
+
+        run(sim, proc())
+        assert mem.read_word(0x100) == 7
+        assert cache.writebacks.value == 1
+
+    def test_flush_page_writes_back_and_invalidates(self):
+        sim, _bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x1000, 11, WB)
+            yield from cache.write(0x1040, 22, WB)
+            yield from cache.flush_page(0x1000, 4096)
+
+        run(sim, proc())
+        assert mem.read_word(0x1000) == 11
+        assert mem.read_word(0x1040) == 22
+        assert not cache.contains(0x1000)
+
+
+class TestUncached:
+    def test_bypasses_cache(self):
+        sim, _bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x100, 5, UC)
+            return (yield from cache.read(0x100, UC))
+
+        assert run(sim, proc()) == 5
+        assert not cache.contains(0x100)
+        assert cache.hits.value == 0
+
+
+class TestSnooping:
+    def test_dma_write_invalidates_cached_line(self):
+        """Paper section 3: caches snoop DMA and invalidate, so incoming
+        network data deposited in DRAM is seen by subsequent CPU reads."""
+        sim, bus, mem, cache, _p = make_system()
+
+        def proc():
+            first = yield from cache.read(0x500, WB)
+            # Another master (the EISA DMA) overwrites memory.
+            yield from bus.write(0x500, [123], "eisa")
+            second = yield from cache.read(0x500, WB)
+            return first, second
+
+        first, second = run(sim, proc())
+        assert first == 0
+        assert second == 123
+        assert cache.snoop_invalidations.value >= 1
+
+    def test_own_writes_do_not_self_invalidate(self):
+        sim, _bus, _mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.read(0x500, WT)
+            yield from cache.write(0x500, 1, WT)
+
+        run(sim, proc())
+        assert cache.contains(0x500)
+
+    def test_dirty_line_dropped_on_snoop(self):
+        sim, bus, mem, cache, _p = make_system()
+
+        def proc():
+            yield from cache.write(0x600, 7, WB)  # dirty in cache only
+            yield from bus.write(0x600, [99], "eisa")
+            return (yield from cache.read(0x600, WB))
+
+        # DMA wins: the stale dirty line is dropped, memory value is read.
+        assert run(sim, proc()) == 99
+
+
+class TestTiming:
+    def test_hit_faster_than_miss(self):
+        sim, _bus, _mem, cache, params = make_system()
+        times = []
+
+        def proc():
+            t0 = sim.now
+            yield from cache.read(0x700, WB)
+            times.append(sim.now - t0)
+            t1 = sim.now
+            yield from cache.read(0x700, WB)
+            times.append(sim.now - t1)
+
+        run(sim, proc())
+        miss_time, hit_time = times
+        assert hit_time == params.cache_hit_ns
+        assert miss_time > hit_time
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    page_policies=st.lists(
+        st.sampled_from([WB, WT, UC]), min_size=4, max_size=4
+    ),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["r", "w"]),
+            st.integers(min_value=0, max_value=4095),  # word index, 4 pages
+            st.integers(min_value=0, max_value=0xFFFF),
+        ),
+        max_size=50,
+    ),
+)
+def test_cache_is_transparent(page_policies, ops):
+    """Property: under per-page policies (as the MMU provides), any access
+    sequence returns the last-written data -- the cache is invisible."""
+    sim, _bus, _mem, cache, _p = make_system(
+        dram_bytes=4 * 4096, cache_sets=4, cache_assoc=1
+    )
+    model = {}
+    results = []
+
+    def proc():
+        for op, word_index, value in ops:
+            addr = word_index * 4
+            policy = page_policies[addr // 4096]
+            if op == "w":
+                yield from cache.write(addr, value, policy)
+                model[addr] = value
+            else:
+                got = yield from cache.read(addr, policy)
+                results.append((got, model.get(addr, 0)))
+
+    run(sim, proc())
+    for got, expected in results:
+        assert got == expected

@@ -1,0 +1,99 @@
+"""Unit tests for physical DRAM."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsys import PhysicalMemory
+from repro.memsys.address import AddressError
+
+
+def test_initially_zero():
+    mem = PhysicalMemory(4096)
+    assert mem.read_word(0) == 0
+    assert mem.read_word(4092) == 0
+
+
+def test_write_read_round_trip():
+    mem = PhysicalMemory(4096)
+    mem.write_word(16, 0xDEADBEEF)
+    assert mem.read_word(16) == 0xDEADBEEF
+
+
+def test_word_values_truncate_to_32_bits():
+    mem = PhysicalMemory(4096)
+    mem.write_word(0, 0x1_0000_0001)
+    assert mem.read_word(0) == 1
+
+
+def test_little_endian_layout():
+    mem = PhysicalMemory(4096)
+    mem.write_word(0, 0x11223344)
+    assert mem.dump_bytes(0, 4) == bytes([0x44, 0x33, 0x22, 0x11])
+
+
+def test_bulk_words():
+    mem = PhysicalMemory(4096)
+    mem.write_words(8, [1, 2, 3])
+    assert mem.read_words(8, 3) == [1, 2, 3]
+    assert mem.read_word(8 + 8) == 3
+
+
+def test_misaligned_rejected():
+    mem = PhysicalMemory(4096)
+    with pytest.raises(AddressError):
+        mem.read_word(2)
+    with pytest.raises(AddressError):
+        mem.write_word(5, 0)
+
+
+def test_out_of_range_rejected():
+    mem = PhysicalMemory(4096)
+    with pytest.raises(AddressError):
+        mem.read_word(4096)
+    with pytest.raises(AddressError):
+        mem.write_words(4092, [1, 2])
+    with pytest.raises(AddressError):
+        mem.read_word(-4)
+
+
+def test_bad_size_rejected():
+    with pytest.raises(AddressError):
+        PhysicalMemory(0)
+    with pytest.raises(AddressError):
+        PhysicalMemory(10)
+
+
+def test_load_and_dump_bytes():
+    mem = PhysicalMemory(4096)
+    mem.load_bytes(100, b"hello world!")
+    assert mem.dump_bytes(100, 12) == b"hello world!"
+    with pytest.raises(AddressError):
+        mem.load_bytes(4090, b"too long!")
+
+
+def test_access_counters():
+    mem = PhysicalMemory(4096)
+    mem.write_words(0, [1, 2, 3])
+    mem.read_words(0, 2)
+    assert mem.write_count == 3
+    assert mem.read_count == 2
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        max_size=60,
+    )
+)
+def test_memory_behaves_like_dict(writes):
+    """Property: memory matches a reference model of last-write-wins words."""
+    mem = PhysicalMemory(1024)
+    model = {}
+    for word_index, value in writes:
+        mem.write_word(word_index * 4, value)
+        model[word_index] = value
+    for word_index, value in model.items():
+        assert mem.read_word(word_index * 4) == value

@@ -1,0 +1,71 @@
+"""Tests for mesh utilization statistics."""
+
+from repro.analysis.mesh_stats import (
+    heatmap,
+    hottest_router,
+    router_flit_counts,
+    router_packet_counts,
+    total_flits,
+)
+from repro.cpu import Asm, Context, Mem
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.sim import Process
+
+SRC, DST = 0x10000, 0x20000
+
+
+def run_traffic():
+    system = ShrimpSystem(4, 4)
+    system.start()
+    a, b = system.nodes[0], system.nodes[15]
+    mapping.establish(a, SRC, b, DST, PAGE_SIZE, MappingMode.AUTO_SINGLE)
+    asm = Asm("w")
+    for i in range(10):
+        asm.mov(Mem(disp=SRC + 4 * i), i + 1)
+    asm.halt()
+    Process(
+        system.sim,
+        a.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "w",
+    ).start()
+    system.run()
+    return system
+
+
+def test_counts_follow_the_xy_path():
+    """Dimension order 0->15: east along row 0, then south down column 3.
+    Routers on that path saw the packets; others saw none."""
+    system = run_traffic()
+    counts = router_packet_counts(system.backplane)
+    path = [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)]
+    for coords in path:
+        assert counts[coords] == 10, coords
+    off_path = [(0, 1), (1, 2), (2, 3), (0, 3)]
+    for coords in off_path:
+        assert counts[coords] == 0, coords
+
+
+def test_flit_totals_consistent():
+    system = run_traffic()
+    per_router = router_flit_counts(system.backplane)
+    assert total_flits(system.backplane) == sum(per_router.values())
+    # 10 single-word packets of 11 flits over a 7-router path.
+    assert total_flits(system.backplane) == 10 * 11 * 7
+
+
+def test_hottest_router_on_path():
+    system = run_traffic()
+    coords, count = hottest_router(system.backplane)
+    assert count == 10
+    assert coords in {(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)}
+
+
+def test_heatmap_renders_grid():
+    system = run_traffic()
+    text = heatmap(system.backplane)
+    rows = text.splitlines()
+    assert len(rows) == 4
+    assert all(len(row.split()) == 4 for row in rows)
+    assert "10" in text

@@ -1,0 +1,271 @@
+"""Unit tests for NIC building blocks: NIPT, packet FIFOs, command words."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Simulator, Process
+from repro.mesh import Packet
+from repro.nic import (
+    Nipt,
+    NiptEntry,
+    OutgoingHalf,
+    MappingMode,
+    NiptError,
+    PacketFifo,
+    FifoOverflow,
+    CommandOp,
+    encode_command,
+    decode_command,
+)
+from repro.nic.command import dma_start_word
+
+
+def half(start=0, end=4096, node=1, dest=0x4000, mode=MappingMode.AUTO_SINGLE):
+    return OutgoingHalf(start, end, node, dest, mode)
+
+
+class TestOutgoingHalf:
+    def test_dest_addr_translation(self):
+        h = half(start=256, end=512, dest=0x8000)
+        assert h.dest_addr_for(256) == 0x8000
+        assert h.dest_addr_for(300) == 0x8000 + 44
+
+    def test_covers(self):
+        h = half(start=256, end=512)
+        assert h.covers(256)
+        assert h.covers(508)
+        assert not h.covers(512)
+        assert not h.covers(0)
+
+    def test_out_of_range_lookup_raises(self):
+        with pytest.raises(NiptError):
+            half(start=0, end=256).dest_addr_for(256)
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(NiptError):
+            OutgoingHalf(512, 256, 0, 0, MappingMode.AUTO_SINGLE)
+        with pytest.raises(NiptError):
+            OutgoingHalf(0, 8192, 0, 0, MappingMode.AUTO_SINGLE)
+        with pytest.raises(NiptError):
+            OutgoingHalf(2, 256, 0, 0, MappingMode.AUTO_SINGLE)
+        with pytest.raises(NiptError):
+            OutgoingHalf(0, 256, 0, 0, "bogus-mode")
+
+
+class TestNiptEntry:
+    def test_page_split_between_two_mappings(self):
+        """Section 3.2: a page can be split at a configurable offset."""
+        entry = NiptEntry()
+        entry.add_half(half(0, 2048, node=1, dest=0x1000))
+        entry.add_half(half(2048, 4096, node=2, dest=0x2000))
+        assert entry.lookup(100).dest_node == 1
+        assert entry.lookup(3000).dest_node == 2
+
+    def test_third_half_rejected(self):
+        entry = NiptEntry()
+        entry.add_half(half(0, 1024))
+        entry.add_half(half(1024, 2048))
+        with pytest.raises(NiptError, match="two mappings"):
+            entry.add_half(half(2048, 4096))
+
+    def test_overlap_rejected(self):
+        entry = NiptEntry()
+        entry.add_half(half(0, 2048))
+        with pytest.raises(NiptError, match="overlaps"):
+            entry.add_half(half(1024, 4096))
+
+    def test_unmapped_gap_lookup_is_none(self):
+        entry = NiptEntry()
+        entry.add_half(half(1024, 2048))
+        assert entry.lookup(0) is None
+        assert entry.lookup(3000) is None
+
+    def test_set_mode(self):
+        entry = NiptEntry()
+        entry.add_half(half(0, 4096, mode=MappingMode.AUTO_SINGLE))
+        entry.set_mode(0, MappingMode.AUTO_BLOCKED)
+        assert entry.lookup(0).mode == MappingMode.AUTO_BLOCKED
+
+    def test_set_mode_without_mapping_raises(self):
+        entry = NiptEntry()
+        with pytest.raises(NiptError):
+            entry.set_mode(0, MappingMode.AUTO_SINGLE)
+
+
+class TestNipt:
+    def test_map_unmap_round_trip(self):
+        nipt = Nipt(16)
+        nipt.map_out(3, half())
+        assert nipt.lookup_out(3, 0) is not None
+        assert nipt.mapped_out_pages() == [3]
+        nipt.unmap_out(3)
+        assert nipt.lookup_out(3, 0) is None
+
+    def test_map_in_tracking(self):
+        nipt = Nipt(16)
+        nipt.map_in(5)
+        assert nipt.is_mapped_in(5)
+        assert nipt.mapped_in_pages() == [5]
+        nipt.unmap_in(5)
+        assert not nipt.is_mapped_in(5)
+
+    def test_unmap_in_clears_interrupt_request(self):
+        nipt = Nipt(16)
+        nipt.map_in(5)
+        nipt.entry(5).interrupt_on_arrival = True
+        nipt.unmap_in(5)
+        assert not nipt.entry(5).interrupt_on_arrival
+
+    def test_bad_page_rejected(self):
+        nipt = Nipt(16)
+        with pytest.raises(NiptError):
+            nipt.entry(16)
+        with pytest.raises(NiptError):
+            nipt.entry(-1)
+
+
+def make_packet(nwords=1):
+    return Packet((0, 0), (1, 0), 0x1000, [0] * nwords)
+
+
+class TestPacketFifo:
+    def test_put_get_order_and_occupancy(self):
+        sim = Simulator()
+        fifo = PacketFifo(sim, 4096, 2048)
+        a, b = make_packet(1), make_packet(2)
+        fifo.put_functional(a)
+        fifo.put_functional(b)
+        assert fifo.occupancy_bytes == a.size_bytes + b.size_bytes
+        got = []
+
+        def consumer():
+            got.append((yield from fifo.get()))
+            got.append((yield from fifo.get()))
+
+        Process(sim, consumer(), "c").start()
+        sim.run_until_idle()
+        assert got == [a, b]
+        assert fifo.occupancy_bytes == 0
+
+    def test_overflow_raises(self):
+        sim = Simulator()
+        fifo = PacketFifo(sim, capacity_bytes=40, threshold_bytes=40)
+        fifo.put_functional(make_packet(1))  # 22 bytes
+        with pytest.raises(FifoOverflow):
+            fifo.put_functional(make_packet(2))
+
+    def test_threshold_callback_edge_triggered(self):
+        sim = Simulator()
+        fifo = PacketFifo(sim, 4096, threshold_bytes=40)
+        fired = []
+        fifo.threshold_callback = lambda: fired.append(sim.now)
+        fifo.put_functional(make_packet(1))  # 22 bytes, below
+        assert fired == []
+        fifo.put_functional(make_packet(1))  # 44 bytes, crossing
+        assert len(fired) == 1
+        fifo.put_functional(make_packet(1))  # still above: no refire
+        assert len(fired) == 1
+
+    def test_threshold_rearms_after_draining(self):
+        sim = Simulator()
+        fifo = PacketFifo(sim, 4096, threshold_bytes=40)
+        fired = []
+        fifo.threshold_callback = lambda: fired.append(True)
+        fifo.put_functional(make_packet(1))
+        fifo.put_functional(make_packet(1))
+        assert len(fired) == 1
+        fifo.try_get()
+        fifo.try_get()
+        fifo.put_functional(make_packet(1))
+        fifo.put_functional(make_packet(1))
+        assert len(fired) == 2
+
+    def test_blocking_put_waits_for_room(self):
+        sim = Simulator()
+        pkt = make_packet(1)  # 22 bytes
+        fifo = PacketFifo(sim, capacity_bytes=2 * pkt.size_bytes,
+                          threshold_bytes=2 * pkt.size_bytes)
+        done = []
+
+        def producer():
+            for i in range(4):
+                yield from fifo.put(make_packet(1))
+            done.append(sim.now)
+
+        def slow_consumer():
+            from repro.sim import Timeout
+
+            for _ in range(4):
+                yield Timeout(100)
+                yield from fifo.get()
+
+        Process(sim, producer(), "p").start()
+        Process(sim, slow_consumer(), "c").start()
+        sim.run_until_idle()
+        assert done and done[0] >= 200
+
+    def test_wait_below_threshold(self):
+        sim = Simulator()
+        pkt = make_packet(1)
+        fifo = PacketFifo(sim, 4096, threshold_bytes=pkt.size_bytes)
+        fifo.put_functional(make_packet(1))
+        log = []
+
+        def waiter():
+            yield from fifo.wait_below_threshold()
+            log.append(sim.now)
+
+        def drainer():
+            from repro.sim import Timeout
+
+            yield Timeout(500)
+            yield from fifo.get()
+
+        Process(sim, waiter(), "w").start()
+        Process(sim, drainer(), "d").start()
+        sim.run_until_idle()
+        assert log == [500]
+
+    def test_invalid_threshold_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PacketFifo(sim, 100, 0)
+        with pytest.raises(ValueError):
+            PacketFifo(sim, 100, 101)
+
+    def test_max_occupancy_tracked(self):
+        sim = Simulator()
+        fifo = PacketFifo(sim, 4096, 4096)
+        fifo.put_functional(make_packet(4))
+        peak = fifo.occupancy_bytes
+        fifo.try_get()
+        assert fifo.max_occupancy_bytes == peak
+
+
+class TestCommandWords:
+    def test_round_trip(self):
+        for op in CommandOp.ALL:
+            word = encode_command(op, 123)
+            assert decode_command(word) == (op, 123)
+
+    def test_dma_start_word_is_plain_count(self):
+        """Section 4.3: the application loads a register with n and
+        CMPXCHGs it -- so the DMA_START encoding must be the raw count."""
+        assert dma_start_word(256) == 256
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            encode_command(0xF, 0)
+        with pytest.raises(ValueError):
+            decode_command(0xF << 28)
+
+    def test_arg_range_checked(self):
+        with pytest.raises(ValueError):
+            encode_command(CommandOp.DMA_START, 1 << 28)
+
+    @given(
+        op=st.sampled_from(CommandOp.ALL),
+        arg=st.integers(min_value=0, max_value=0x0FFFFFFF),
+    )
+    def test_encode_decode_property(self, op, arg):
+        assert decode_command(encode_command(op, arg)) == (op, arg)

@@ -1,0 +1,81 @@
+"""Tests for demand-grown stacks and the NX/2 connection restriction."""
+
+import pytest
+
+from repro.cpu import Asm, R1
+from repro.machine import ShrimpSystem
+from repro.machine.cluster import Cluster
+from repro.msg import nx2
+from repro.os.process import OsProcess
+from repro.os.syscalls import Syscall
+
+
+def deep_push_program(pushes):
+    asm = Asm("pusher")
+    asm.mov(R1, 0xAB)
+    for _ in range(pushes):
+        asm.push(R1)
+    for _ in range(pushes):
+        asm.pop(R1)
+    asm.syscall(Syscall.EXIT)
+    return asm.build()
+
+
+def test_stack_grows_on_demand():
+    cluster = Cluster(2, 1)
+    kernel = cluster.kernel(0)
+    # Push past the eagerly-mapped stack pages (4 pages = 4096 words).
+    pushes = (OsProcess.STACK_PAGES + 2) * 1024 + 10
+    process = cluster.spawn(0, "pusher", deep_push_program(pushes))
+    cluster.start()
+    cluster.run()
+    assert process.state == "finished"
+    assert process.exit_context.registers["r1"] == 0xAB
+    mapped_stack_pages = sum(
+        1
+        for vpage in process.page_table.mapped_vpages()
+        if vpage >= (OsProcess.STACK_TOP // 4096) - OsProcess.MAX_STACK_PAGES
+    )
+    assert mapped_stack_pages > OsProcess.STACK_PAGES
+
+
+def test_runaway_stack_still_faults():
+    """Beyond MAX_STACK_PAGES the guard ends and the fault is fatal."""
+    from repro.cpu import PageFault
+
+    cluster = Cluster(2, 1)
+    pushes = (OsProcess.MAX_STACK_PAGES + 1) * 1024
+    cluster.spawn(0, "runaway", deep_push_program(pushes))
+    cluster.start()
+    with pytest.raises(PageFault):
+        cluster.run()
+
+
+def test_wild_access_still_faults():
+    from repro.cpu import Mem, PageFault, R2
+
+    cluster = Cluster(2, 1)
+    asm = Asm("wild")
+    asm.mov(R2, Mem(disp=0x0012_3450))  # far from any region or stack
+    asm.syscall(Syscall.EXIT)
+    cluster.spawn(0, "wild", asm.build())
+    cluster.start()
+    with pytest.raises(PageFault):
+        cluster.run()
+
+
+class TestNx2ConnectionRestriction:
+    def test_same_slot_reuse_rejected(self):
+        system = ShrimpSystem(2, 1)
+        system.start()
+        a, b = system.nodes
+        nx2.setup_connection(system, a, b, msg_type=7)
+        with pytest.raises(nx2.Nx2Error, match="in use"):
+            nx2.setup_connection(system, a, b, msg_type=9)
+
+    def test_type_zero_reserved(self):
+        system = ShrimpSystem(2, 1)
+        system.start()
+        a, b = system.nodes
+        with pytest.raises(nx2.Nx2Error, match="reserved"):
+            nx2.setup_connection(system, a, b, msg_type=0)

@@ -1,0 +1,145 @@
+"""Unit tests for page tables and mapping planning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu import PageFault
+from repro.memsys.address import PAGE_SIZE
+from repro.memsys.cache import CachePolicy
+from repro.nic.nipt import MappingMode
+from repro.os import PageTable, VmError, plan_mapping
+
+
+class TestPageTable:
+    def test_translate_maps_page_and_offset(self):
+        pt = PageTable()
+        pt.map_page(vpage=5, ppage=9)
+        paddr, policy = pt.translate(5 * PAGE_SIZE + 100, "read")
+        assert paddr == 9 * PAGE_SIZE + 100
+        assert policy == CachePolicy.WRITE_BACK
+
+    def test_unmapped_faults(self):
+        pt = PageTable()
+        with pytest.raises(PageFault) as excinfo:
+            pt.translate(0x1000, "read")
+        assert excinfo.value.reason == "not-present"
+
+    def test_not_present_faults(self):
+        pt = PageTable()
+        pt.map_page(1, 2)
+        pt.set_present(1, False)
+        with pytest.raises(PageFault):
+            pt.translate(PAGE_SIZE, "read")
+
+    def test_write_protection(self):
+        pt = PageTable()
+        pt.map_page(1, 2, writable=False)
+        paddr, _ = pt.translate(PAGE_SIZE, "read")  # reads fine
+        assert paddr == 2 * PAGE_SIZE
+        with pytest.raises(PageFault) as excinfo:
+            pt.translate(PAGE_SIZE, "write")
+        assert excinfo.value.reason == "write-protected"
+
+    def test_policy_per_page(self):
+        pt = PageTable()
+        pt.map_page(1, 2, policy=CachePolicy.WRITE_THROUGH)
+        _paddr, policy = pt.translate(PAGE_SIZE, "write")
+        assert policy == CachePolicy.WRITE_THROUGH
+        pt.set_policy(1, CachePolicy.UNCACHED)
+        _paddr, policy = pt.translate(PAGE_SIZE, "read")
+        assert policy == CachePolicy.UNCACHED
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        pt.map_page(1, 2)
+        with pytest.raises(VmError):
+            pt.map_page(1, 3)
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_page(1, 2)
+        pt.unmap_page(1)
+        with pytest.raises(PageFault):
+            pt.translate(PAGE_SIZE, "read")
+        with pytest.raises(VmError):
+            pt.unmap_page(1)
+
+    def test_translate_nofault(self):
+        pt = PageTable()
+        pt.map_page(0, 7)
+        assert pt.translate_nofault(16) == 7 * PAGE_SIZE + 16
+        assert pt.translate_nofault(PAGE_SIZE) is None
+
+
+class TestPlanMapping:
+    def test_aligned_one_page(self):
+        halves = plan_mapping(0, PAGE_SIZE, [0x8000], 0, 3,
+                              MappingMode.AUTO_SINGLE)
+        assert len(halves) == 1
+        page, half = halves[0]
+        assert page == 0
+        assert (half.src_start, half.src_end) == (0, PAGE_SIZE)
+        assert half.dest_addr == 0x8000
+
+    def test_unaligned_offsets_split_page(self):
+        """Section 3.2: differing offsets force a split, never more than
+        two halves per source page."""
+        src = 1024  # source offset 1024
+        dest_offset = 2048  # destination offset 2048
+        halves = plan_mapping(
+            src, PAGE_SIZE, [0x8000, 0x20000], dest_offset, 1,
+            MappingMode.AUTO_SINGLE,
+        )
+        # Source range covers source pages 0 and 1; each gets <= 2 halves.
+        per_page = {}
+        for page, half in halves:
+            per_page.setdefault(page, []).append(half)
+        assert all(len(hs) <= 2 for hs in per_page.values())
+        # First run: src [1024, 3072) -> dest page0 [2048, 4096).
+        page0_first = per_page[0][0]
+        assert page0_first.src_start == 1024
+        assert page0_first.src_end == 3072
+        assert page0_first.dest_addr == 0x8000 + 2048
+
+    def test_frame_count_validated(self):
+        with pytest.raises(VmError):
+            plan_mapping(0, PAGE_SIZE, [], 0, 1, MappingMode.AUTO_SINGLE)
+        with pytest.raises(VmError):
+            plan_mapping(0, PAGE_SIZE, [0, 0x1000], 0, 1,
+                         MappingMode.AUTO_SINGLE)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(VmError):
+            plan_mapping(0, 0, [], 0, 1, MappingMode.AUTO_SINGLE)
+        with pytest.raises(VmError):
+            plan_mapping(0, 6, [0x1000], 0, 1, MappingMode.AUTO_SINGLE)
+        with pytest.raises(VmError):
+            plan_mapping(2, 8, [0x1000], 0, 1, MappingMode.AUTO_SINGLE)
+
+    @given(
+        src_word=st.integers(min_value=0, max_value=3 * 1024),
+        dest_word=st.integers(min_value=0, max_value=3 * 1024),
+        nwords=st.integers(min_value=1, max_value=4 * 1024),
+    )
+    def test_plan_covers_range_exactly(self, src_word, dest_word, nwords):
+        """Property: halves tile the source range, destination addresses
+        are continuous, and no source page holds more than two halves."""
+        src_addr = src_word * 4
+        dest_offset = (dest_word * 4) % PAGE_SIZE
+        nbytes = nwords * 4
+        frame_count = (dest_offset + nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        frames = [0x100000 + i * PAGE_SIZE for i in range(frame_count)]
+        halves = plan_mapping(src_addr, nbytes, frames, dest_offset, 1,
+                              MappingMode.DELIBERATE)
+        consumed = 0
+        per_page = {}
+        for page, half in halves:
+            assert page * PAGE_SIZE + half.src_start == src_addr + consumed
+            # Destination address continuity (frames are contiguous here).
+            expected_dest = frames[0] + dest_offset + consumed
+            assert half.dest_addr == expected_dest
+            consumed += half.src_end - half.src_start
+            per_page.setdefault(page, 0)
+            per_page[page] += 1
+        assert consumed == nbytes
+        assert all(count <= 2 for count in per_page.values())

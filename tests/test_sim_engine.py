@@ -1,0 +1,161 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 10
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(5, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, ev.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(10, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(100, fired.append, "b")
+    sim.run(until=50)
+    assert fired == ["a"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 100
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "edge")
+    sim.run(until=50)
+    assert fired == ["edge"]
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(5, lambda: None)
+    sim.schedule(10, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 10
+
+
+def test_peek_empty_is_none():
+    sim = Simulator()
+    assert sim.peek() is None
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_exception_in_callback_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.schedule(1, boom)
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(7, lambda: sim.schedule(0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [7]

@@ -1,0 +1,309 @@
+"""Unit tests for generator processes, signals, timeouts and interrupts."""
+
+import pytest
+
+from repro.sim import Simulator, Process, Signal, Timeout, Wait, Interrupt
+from repro.sim.process import wait_until
+
+
+def spawn(sim, gen, name="p"):
+    return Process(sim, gen, name).start()
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Timeout(100)
+        log.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert log == [100]
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Timeout(10)
+        log.append(sim.now)
+        yield Timeout(20)
+        log.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert log == [10, 30]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-5)
+
+
+def test_process_result_recorded():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1)
+        return 42
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_signal_wakes_waiter_with_value():
+    sim = Simulator()
+    got = []
+    sig = Signal(sim, "s")
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append(value)
+
+    spawn(sim, waiter())
+
+    def firer():
+        yield Timeout(50)
+        sig.fire("hello")
+
+    spawn(sim, firer())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_signal_shorthand_yield():
+    sim = Simulator()
+    got = []
+    sig = Signal(sim, "s")
+
+    def waiter():
+        value = yield sig
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.schedule(10, sig.fire, 7)
+    sim.run()
+    assert got == [7]
+
+
+def test_signal_broadcasts_to_all_waiters():
+    sim = Simulator()
+    got = []
+    sig = Signal(sim, "s")
+
+    def waiter(i):
+        value = yield Wait(sig)
+        got.append((i, value))
+
+    for i in range(3):
+        spawn(sim, waiter(i))
+    sim.schedule(5, sig.fire, "x")
+    sim.run()
+    assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+def test_signal_does_not_buffer():
+    sim = Simulator()
+    got = []
+    sig = Signal(sim, "s")
+    sig.fire("lost")  # nobody waiting: value is dropped
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.schedule(5, sig.fire, "kept")
+    sim.run()
+    assert got == ["kept"]
+
+
+def test_join_returns_child_result():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield Timeout(30)
+        return "done"
+
+    def parent(c):
+        result = yield c
+        log.append((sim.now, result))
+
+    c = spawn(sim, child(), "child")
+    spawn(sim, parent(c), "parent")
+    sim.run()
+    assert log == [(30, "done")]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        return "early"
+        yield  # pragma: no cover
+
+    def parent(c):
+        result = yield c
+        log.append(result)
+
+    c = spawn(sim, child())
+
+    def late_parent():
+        yield Timeout(100)
+        result = yield c
+        log.append(result)
+
+    spawn(sim, late_parent())
+    sim.run()
+    assert log == ["early"]
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1)
+
+    p = spawn(sim, proc())
+    with pytest.raises(RuntimeError):
+        p.start()
+
+
+def test_yield_bad_request_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not a request"
+
+    spawn(sim, proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_interrupt_during_timeout():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(1000)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, sim.now))
+
+    p = spawn(sim, sleeper())
+    sim.schedule(100, p.interrupt, "alarm")
+    sim.run()
+    assert log == [("interrupted", "alarm", 100)]
+    # The cancelled timeout must not resume the process later.
+    assert sim.now == 100 or sim.peek() is None
+
+
+def test_interrupt_during_signal_wait_removes_waiter():
+    sim = Simulator()
+    sig = Signal(sim, "s")
+    log = []
+
+    def waiter():
+        try:
+            yield Wait(sig)
+            log.append("woke")
+        except Interrupt:
+            log.append("interrupted")
+
+    p = spawn(sim, waiter())
+    sim.schedule(10, p.interrupt)
+    sim.schedule(20, sig.fire)
+    sim.run()
+    assert log == ["interrupted"]
+    assert sig.waiter_count == 0
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1)
+
+    p = spawn(sim, proc())
+    sim.run()
+    p.interrupt()  # must not raise
+    sim.run()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        while True:
+            try:
+                yield Timeout(100)
+                log.append(("tick", sim.now))
+                if sim.now >= 300:
+                    return
+            except Interrupt:
+                log.append(("intr", sim.now))
+
+    p = spawn(sim, worker())
+    sim.schedule(50, p.interrupt)
+    sim.run()
+    assert ("intr", 50) in log
+    assert log[-1] == ("tick", 350)  # timeout restarted after interrupt
+
+
+def test_wait_until_checks_predicate_first():
+    sim = Simulator()
+    sig = Signal(sim, "s")
+    state = {"ready": True}
+    log = []
+
+    def proc():
+        yield from wait_until(sim, sig, lambda: state["ready"])
+        log.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert log == [0]
+
+
+def test_wait_until_loops_until_true():
+    sim = Simulator()
+    sig = Signal(sim, "s")
+    state = {"n": 0}
+    log = []
+
+    def proc():
+        yield from wait_until(sim, sig, lambda: state["n"] >= 2)
+        log.append(sim.now)
+
+    spawn(sim, proc())
+
+    def bumper():
+        for _ in range(3):
+            yield Timeout(10)
+            state["n"] += 1
+            sig.fire()
+
+    spawn(sim, bumper())
+    sim.run()
+    assert log == [20]
+
+
+def test_exception_in_process_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(5)
+        raise RuntimeError("process blew up")
+
+    spawn(sim, proc())
+    with pytest.raises(RuntimeError, match="blew up"):
+        sim.run()

@@ -1,0 +1,97 @@
+"""Unit tests for tracing, counters and time series."""
+
+from repro.sim import Simulator, Tracer, Counter, TimeSeries
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit("nic", "packet_sent", {"n": 1})
+        assert tracer.records == []
+
+    def test_records_time_and_fields(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        sim.schedule(42, tracer.emit, "nic", "packet_sent", {"n": 1})
+        sim.run()
+        assert len(tracer.records) == 1
+        rec = tracer.records[0]
+        assert rec.time == 42
+        assert rec.source == "nic"
+        assert rec.kind == "packet_sent"
+        assert rec.detail == {"n": 1}
+
+    def test_kind_filter(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True, only_kinds={"keep"})
+        tracer.emit("a", "keep")
+        tracer.emit("a", "drop")
+        assert [r.kind for r in tracer.records] == ["keep"]
+
+    def test_limit_counts_drops(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True, limit=2)
+        for _ in range(5):
+            tracer.emit("a", "k")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_of_kind_and_clear(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        tracer.emit("a", "x")
+        tracer.emit("a", "y")
+        assert len(tracer.of_kind("x")) == 1
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_repr_is_readable(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        tracer.emit("bus", "write", "0x1000")
+        assert "bus" in repr(tracer.records[0])
+
+
+class TestCounter:
+    def test_bump_and_reset(self):
+        c = Counter("packets")
+        c.bump()
+        c.bump(4)
+        assert int(c) == 5
+        c.reset()
+        assert c.value == 0
+
+
+class TestTimeSeries:
+    def test_stats(self):
+        ts = TimeSeries("occupancy")
+        ts.record(0, 1)
+        ts.record(10, 5)
+        ts.record(20, 3)
+        assert ts.max() == 5
+        assert ts.min() == 1
+        assert ts.mean() == 3
+
+    def test_empty_stats_are_none(self):
+        ts = TimeSeries("x")
+        assert ts.max() is None
+        assert ts.mean() is None
+        assert ts.time_weighted_mean() is None
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries("x")
+        ts.record(0, 0)
+        ts.record(10, 100)  # value 0 held for 10ns
+        ts.record(20, 0)  # value 100 held for 10ns
+        assert ts.time_weighted_mean() == 50.0
+
+    def test_time_weighted_mean_extends_to_end_time(self):
+        ts = TimeSeries("x")
+        ts.record(0, 10)
+        assert ts.time_weighted_mean(end_time=100) == 10.0
+
+    def test_single_sample_no_duration(self):
+        ts = TimeSeries("x")
+        ts.record(5, 7)
+        assert ts.time_weighted_mean() == 7.0

@@ -1,0 +1,142 @@
+"""System-level stress: many nodes, many mappings, mixed traffic.
+
+One big scenario exercising automatic update (single and blocked),
+deliberate update, flag traffic and kernel messages simultaneously on an
+8-node machine, with every invariant checked at quiescence.
+"""
+
+import pytest
+
+from repro.cpu import Asm, Context, Mem, R0, R1
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.command import dma_start_word
+from repro.nic.nipt import MappingMode
+from repro.sim import Process
+
+STACK = 0x3F000
+AUTO_SRC = 0x10000
+AUTO_DST = 0x20000
+BLK_SRC = 0x11000
+BLK_DST = 0x21000
+DLB_SRC = 0x12000
+DLB_DST = 0x22000
+NWORDS = 64
+
+
+@pytest.fixture(scope="module")
+def stressed_system():
+    """8 nodes in a ring: each sends three kinds of traffic to its
+    successor while everyone else does the same."""
+    system = ShrimpSystem(4, 2)
+    system.start()
+    n = system.node_count
+    nodes = system.nodes
+    for i, node in enumerate(nodes):
+        succ = nodes[(i + 1) % n]
+        mapping.establish(node, AUTO_SRC, succ, AUTO_DST, PAGE_SIZE,
+                          MappingMode.AUTO_SINGLE)
+        mapping.establish(node, BLK_SRC, succ, BLK_DST, PAGE_SIZE,
+                          MappingMode.AUTO_BLOCKED)
+        mapping.establish(node, DLB_SRC, succ, DLB_DST, PAGE_SIZE,
+                          MappingMode.DELIBERATE)
+        node.memory.write_words(DLB_SRC, [0xD0 + i] * NWORDS)
+
+    procs = []
+    for i, node in enumerate(nodes):
+        asm = Asm("stress-%d" % i)
+        # Interleave single-write and blocked-write stores.
+        for k in range(NWORDS):
+            asm.mov(Mem(disp=AUTO_SRC + 4 * k), (i << 16) | k)
+            asm.mov(Mem(disp=BLK_SRC + 4 * k), (i << 16) | (k + 1000))
+        # Arm a deliberate transfer.
+        asm.mov(R1, dma_start_word(NWORDS))
+        retry = "retry_%d" % i
+        asm.label(retry)
+        asm.mov(R0, 0)
+        asm.cmpxchg(Mem(disp=node.command_addr(DLB_SRC)), R1)
+        asm.jnz(retry)
+        asm.halt()
+        procs.append(
+            Process(
+                system.sim,
+                node.cpu.run_to_halt(asm.build(), Context(stack_top=STACK)),
+                "stress-%d" % i,
+            ).start()
+        )
+
+    # Kernel-style control messages crossing the same fabric.
+    for i, node in enumerate(nodes):
+        def kmsg(node=node, i=i):
+            yield from node.nic.send_kernel_message(
+                (i + 3) % n, [0xC0DE, i]
+            )
+
+        Process(system.sim, kmsg(), "kmsg-%d" % i).start()
+
+    system.run(max_events=30_000_000)
+    assert all(p.finished for p in procs)
+    return system
+
+
+def test_all_automatic_data_delivered(stressed_system):
+    system = stressed_system
+    n = system.node_count
+    for i, node in enumerate(system.nodes):
+        pred = (i - 1) % n
+        got = node.memory.read_words(AUTO_DST, NWORDS)
+        assert got == [(pred << 16) | k for k in range(NWORDS)]
+
+
+def test_all_blocked_data_delivered(stressed_system):
+    system = stressed_system
+    n = system.node_count
+    for i, node in enumerate(system.nodes):
+        pred = (i - 1) % n
+        got = node.memory.read_words(BLK_DST, NWORDS)
+        assert got == [(pred << 16) | (k + 1000) for k in range(NWORDS)]
+
+
+def test_all_deliberate_data_delivered(stressed_system):
+    system = stressed_system
+    n = system.node_count
+    for i, node in enumerate(system.nodes):
+        pred = (i - 1) % n
+        got = node.memory.read_words(DLB_DST, NWORDS)
+        assert got == [0xD0 + pred] * NWORDS
+
+
+def test_kernel_messages_all_arrived(stressed_system):
+    system = stressed_system
+    n = system.node_count
+    seen = {}
+    for i, node in enumerate(system.nodes):
+        while True:
+            ok, packet = node.nic.kernel_inbox.try_get()
+            if not ok:
+                break
+            assert packet.payload[0] == 0xC0DE
+            seen[packet.payload[1]] = i
+    assert sorted(seen) == list(range(n))
+    for sender, receiver in seen.items():
+        assert receiver == (sender + 3) % n
+
+
+def test_no_drops_no_overflows(stressed_system):
+    system = stressed_system
+    for node in system.nodes:
+        assert node.nic.crc_drops.value == 0
+        assert node.nic.unmapped_drops.value == 0
+        assert node.nic.dma_engine.rejected_commands.value == 0
+        out = node.nic.outgoing_fifo
+        incoming = node.nic.incoming_fifo
+        assert out.max_occupancy_bytes <= out.capacity_bytes
+        assert incoming.max_occupancy_bytes <= incoming.capacity_bytes
+
+
+def test_packet_conservation(stressed_system):
+    system = stressed_system
+    injected = sum(n.nic.packets_injected.value for n in system.nodes)
+    delivered = sum(n.nic.packets_delivered.value for n in system.nodes)
+    kernel_msgs = system.node_count  # one control message per node
+    assert injected == delivered + kernel_msgs

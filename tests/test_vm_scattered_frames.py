@@ -1,0 +1,88 @@
+"""Mapping plans over physically scattered destination frames.
+
+Destination virtual pages rarely sit in contiguous physical frames; the
+planner must aim each run at the right frame, and the end-to-end map
+syscall must deliver correctly into a scattered destination.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Asm, Mem, R1
+from repro.machine.cluster import Cluster
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.nipt import MappingMode
+from repro.os import plan_mapping
+from repro.os.syscalls import MapArgs, Syscall
+
+VARGS = 0x0020_0000
+VSEND = 0x0030_0000
+VRECV = 0x0040_0000
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    frame_order=st.permutations(range(4)),
+    dest_offset_words=st.integers(min_value=0, max_value=1023),
+)
+def test_plan_targets_each_scattered_frame(frame_order, dest_offset_words):
+    """Property: every byte of the mapping lands in the frame that holds
+    its destination virtual page, at the right offset."""
+    frames = [0x100000 + index * 0x10000 for index in frame_order]
+    dest_offset = dest_offset_words * 4
+    nbytes = 3 * PAGE_SIZE  # guaranteed to touch several frames
+    needed = (dest_offset + nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+    frames = frames[:needed]
+    halves = plan_mapping(0, nbytes, frames, dest_offset, 1,
+                          MappingMode.AUTO_SINGLE)
+    consumed = 0
+    for _page, half in halves:
+        linear = dest_offset + consumed
+        frame_index = linear // PAGE_SIZE
+        expected = frames[frame_index] + linear % PAGE_SIZE
+        assert half.dest_addr == expected
+        # Runs never cross a destination frame.
+        run_bytes = half.src_end - half.src_start
+        assert linear % PAGE_SIZE + run_bytes <= PAGE_SIZE
+        consumed += run_bytes
+    assert consumed == nbytes
+
+
+def test_syscall_map_into_scattered_frames_end_to_end():
+    """Force the receiver's pages into non-contiguous frames, then run the
+    real map + store flow across all of them."""
+    cluster = Cluster(2, 1)
+    kernel0, kernel1 = cluster.kernel(0), cluster.kernel(1)
+
+    recv_asm = Asm("recv")
+    recv_asm.syscall(Syscall.EXIT)
+    receiver = cluster.spawn(1, "recv", recv_asm.build())
+    # Interleave allocations so VRECV's three pages are physically apart.
+    kernel1.alloc_region(receiver, VRECV, PAGE_SIZE)
+    kernel1.alloc_region(receiver, 0x0070_0000, PAGE_SIZE)  # spacer
+    kernel1.alloc_region(receiver, VRECV + PAGE_SIZE, PAGE_SIZE)
+    kernel1.alloc_region(receiver, 0x0071_0000, PAGE_SIZE)  # spacer
+    kernel1.alloc_region(receiver, VRECV + 2 * PAGE_SIZE, PAGE_SIZE)
+    frames = [
+        receiver.page_table.entry(VRECV // PAGE_SIZE + i).ppage
+        for i in range(3)
+    ]
+    assert frames[1] != frames[0] + 1  # actually scattered
+
+    send_asm = Asm("send")
+    send_asm.mov(R1, VARGS)
+    send_asm.syscall(Syscall.MAP)
+    for i in range(3):
+        send_asm.mov(Mem(disp=VSEND + i * PAGE_SIZE), 0x1000 + i)
+    send_asm.syscall(Syscall.EXIT)
+    sender = cluster.spawn(0, "send", send_asm.build())
+    kernel0.alloc_region(sender, VSEND, 3 * PAGE_SIZE)
+    kernel0.alloc_region(sender, VARGS, PAGE_SIZE)
+    kernel0.write_user_words(
+        sender, VARGS,
+        MapArgs(VSEND, 3 * PAGE_SIZE, 1, receiver.pid, VRECV, 0).to_words(),
+    )
+    cluster.start()
+    cluster.run()
+    for i in range(3):
+        got = cluster.read_process_words(1, receiver, VRECV + i * PAGE_SIZE, 1)
+        assert got == [0x1000 + i]
