@@ -1,0 +1,17 @@
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test test-fast bench-simspeed
+
+# Tier-1 suite (everything).
+test:
+	python -m pytest -x -q
+
+# Fast lane: skip the long property/soak tests (marked `slow`).
+test-fast:
+	python -m pytest -x -q -m "not slow"
+
+# Simulator-speed microbench; refuses to record a >10% events/sec
+# regression into BENCH_simspeed.json (override with FORCE=1).
+bench-simspeed:
+	python -m benchmarks.bench_simspeed $(if $(FORCE),--force)

@@ -1,0 +1,291 @@
+"""Simulation-speed microbenchmarks: events/sec and wall-clock.
+
+Unlike the rest of the benchmark suite (which reproduces the paper's
+*measured* numbers), this one measures the simulator itself.  It runs
+three representative workloads end to end:
+
+- ``ping_pong``    -- 2-node single-buffered round trips (latency-bound:
+  CPU spin loops, per-word packets, both mesh directions);
+- ``bandwidth``    -- deliberate-update DMA sweep over growing transfer
+  sizes (datapath-bound: DMA bursts, EISA deposit, long worms);
+- ``contention``   -- 4x4 mesh, 15 nodes storming one receiver with
+  automatic-update stores (mesh-bound: merging worms, backpressure).
+
+For each workload it reports simulated ns, executed engine events, wall
+seconds, and events/sec.  Simulated observables (events, ns, packets) are
+deterministic; wall seconds and events/sec depend on the host.
+
+Results are written to ``BENCH_simspeed.json`` at the repository root so
+future PRs can regress against them:
+
+    python -m benchmarks.bench_simspeed            # refuses a >10% regression
+    python -m benchmarks.bench_simspeed --force    # overwrite regardless
+    make bench-simspeed                            # same as the first form
+
+The refusal compares events/sec per workload against the committed JSON;
+anything more than 10% slower aborts without touching the file.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.cpu import Asm, Context, Mem, R4
+from repro.machine import ShrimpSystem, mapping
+from repro.memsys.address import PAGE_SIZE
+from repro.memsys.cache import CachePolicy
+from repro.memsys.address import page_number
+from repro.msg import deliberate
+from repro.msg.layout import MessagingPair, PairLayout as L
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simspeed.json")
+REGRESSION_TOLERANCE = 0.10  # refuse to overwrite if >10% slower
+
+# The pong channel of the ping-pong workload (mirrors examples/ping_pong.py).
+PONG_SBUF = 0x2A000  # on node B
+PONG_RBUF = 0x2C000  # on node A
+PONG_FLAG = L.FLAGS + 0x20
+
+
+def _timed_run(system):
+    """Run ``system`` to idle; return (wall_seconds, events, simulated_ns)."""
+    t0 = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - t0
+    return wall, system.sim.event_count, system.sim.now
+
+
+# -- workload 1: ping-pong latency ------------------------------------------
+
+
+def _build_pinger(rounds):
+    asm = Asm("pinger")
+    asm.mov(R4, rounds)
+    asm.label("round")
+    asm.mov(Mem(disp=L.SBUF0), 0xABCD)
+    asm.mov(Mem(disp=L.flag(L.F_NBYTES)), 4)
+    asm.label("echo_wait")
+    asm.cmp(Mem(disp=PONG_FLAG), 0)
+    asm.jz("echo_wait")
+    asm.mov(Mem(disp=PONG_FLAG), 0)
+    asm.dec(R4)
+    asm.jnz("round")
+    asm.halt()
+    return asm.build()
+
+
+def _build_ponger(rounds):
+    asm = Asm("ponger")
+    asm.mov(R4, rounds)
+    asm.label("round")
+    asm.label("ping_wait")
+    asm.cmp(Mem(disp=L.flag(L.F_NBYTES)), 0)
+    asm.jz("ping_wait")
+    asm.mov(Mem(disp=L.flag(L.F_NBYTES)), 0)
+    asm.mov(Mem(disp=PONG_SBUF), 0xDCBA)
+    asm.mov(Mem(disp=PONG_FLAG), 1)
+    asm.dec(R4)
+    asm.jnz("round")
+    asm.halt()
+    return asm.build()
+
+
+def run_ping_pong(rounds=200):
+    system = ShrimpSystem(2, 1)
+    system.start()
+    a, b = system.nodes
+    MessagingPair(system, a, b, data_mode=MappingMode.AUTO_SINGLE)
+    mapping.establish(b, PONG_SBUF, a, PONG_RBUF, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+    Process(system.sim,
+            a.cpu.run_to_halt(_build_pinger(rounds), Context(stack_top=0x3F000)),
+            "pinger").start()
+    Process(system.sim,
+            b.cpu.run_to_halt(_build_ponger(rounds), Context(stack_top=0x3F000)),
+            "ponger").start()
+    wall, events, sim_ns = _timed_run(system)
+    assert b.nic.packets_delivered.value >= rounds
+    return {
+        "rounds": rounds,
+        "wall_s": wall,
+        "events": events,
+        "sim_ns": sim_ns,
+        "round_trip_ns": sim_ns / rounds,
+    }
+
+
+# -- workload 2: deliberate-update bandwidth sweep ---------------------------
+
+
+def _one_transfer(nbytes):
+    system = ShrimpSystem(2, 1)
+    system.start()
+    sender, receiver = system.nodes
+    buf_src, buf_dst = 0x40000, 0x80000
+    mapping.establish(sender, buf_src, receiver, buf_dst, nbytes,
+                      MappingMode.DELIBERATE)
+    sender.mmu.set_policy(page_number(L.PRIV), CachePolicy.WRITE_THROUGH)
+    payload = [(7 * i + 3) & 0xFFFFFFFF for i in range(nbytes // 4)]
+    sender.memory.write_words(buf_src, payload)
+    asm = deliberate.sender_program(system, sender, nbytes, buf_addr=buf_src)
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "sender",
+    ).start()
+    wall, events, sim_ns = _timed_run(system)
+    assert receiver.memory.read_words(buf_dst, nbytes // 4) == payload
+    return wall, events, sim_ns
+
+
+def run_bandwidth(sizes=(4096, 16384, 65536)):
+    total_wall = 0.0
+    total_events = 0
+    points = []
+    for nbytes in sizes:
+        wall, events, sim_ns = _one_transfer(nbytes)
+        total_wall += wall
+        total_events += events
+        points.append({
+            "nbytes": nbytes,
+            "events": events,
+            "sim_ns": sim_ns,
+            "mb_per_s": nbytes / sim_ns * 1000.0,
+        })
+    return {
+        "sizes": list(sizes),
+        "points": points,
+        "wall_s": total_wall,
+        "events": total_events,
+    }
+
+
+# -- workload 3: 16-node contention ------------------------------------------
+
+
+def run_contention(words_per_sender=48):
+    system = ShrimpSystem(4, 4)
+    system.start()
+    hot = system.nodes[15]
+    src_base = 0x10000
+    for i, node in enumerate(system.nodes[:15]):
+        dest = 0x100000 + i * PAGE_SIZE
+        mapping.establish(node, src_base, hot, dest, PAGE_SIZE,
+                          MappingMode.AUTO_SINGLE)
+        asm = Asm("storm%d" % i)
+        for j in range(words_per_sender):
+            asm.mov(Mem(disp=src_base + 4 * (j % (PAGE_SIZE // 4))),
+                    (i << 16) | j)
+        asm.halt()
+        Process(
+            system.sim,
+            node.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+            "storm%d" % i,
+        ).start()
+    wall, events, sim_ns = _timed_run(system)
+    delivered = hot.nic.words_delivered.value
+    assert delivered == 15 * words_per_sender, delivered
+    return {
+        "senders": 15,
+        "words_per_sender": words_per_sender,
+        "wall_s": wall,
+        "events": events,
+        "sim_ns": sim_ns,
+        "words_delivered": delivered,
+    }
+
+
+# -- harness ------------------------------------------------------------------
+
+
+WORKLOADS = {
+    "ping_pong": run_ping_pong,
+    "bandwidth": run_bandwidth,
+    "contention": run_contention,
+}
+
+
+def run_all(quick=False):
+    """Run every workload; returns {name: result-dict} with events/sec."""
+    kwargs = {}
+    if quick:
+        kwargs = {
+            "ping_pong": {"rounds": 20},
+            "bandwidth": {"sizes": (4096,)},
+            "contention": {"words_per_sender": 8},
+        }
+    results = {}
+    for name, fn in WORKLOADS.items():
+        result = fn(**kwargs.get(name, {}))
+        result["events_per_s"] = result["events"] / result["wall_s"]
+        results[name] = result
+    return results
+
+
+def check_regression(old, new, tolerance=REGRESSION_TOLERANCE):
+    """Return a list of human-readable regressions of >tolerance."""
+    problems = []
+    old_workloads = old.get("workloads", {})
+    for name, result in new.items():
+        prior = old_workloads.get(name)
+        if not prior or "events_per_s" not in prior:
+            continue
+        floor = prior["events_per_s"] * (1.0 - tolerance)
+        if result["events_per_s"] < floor:
+            problems.append(
+                "%s: %.0f events/s is >%d%% below the recorded %.0f"
+                % (name, result["events_per_s"], int(tolerance * 100),
+                   prior["events_per_s"])
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite BENCH_simspeed.json even on regression")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="result file (default: repo BENCH_simspeed.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workloads (smoke test; never writes)")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    for name, result in results.items():
+        print("%-12s %8.3f s wall  %9d events  %10.0f events/s"
+              % (name, result["wall_s"], result["events"],
+                 result["events_per_s"]))
+
+    if args.quick:
+        print("(quick mode: results not written)")
+        return 0
+
+    previous = None
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            previous = json.load(fh)
+        problems = check_regression(previous, results)
+        if problems and not args.force:
+            print("REFUSING to overwrite %s:" % args.output)
+            for line in problems:
+                print("  " + line)
+            print("re-run with --force to record a known regression")
+            return 1
+
+    payload = {"workloads": results}
+    if previous is not None and "baseline_seed" in previous:
+        payload["baseline_seed"] = previous["baseline_seed"]
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ marks unmapped-out pages read-only and re-establishes mappings on write
 faults (section 4.4).
 """
 
-from repro.cpu.isa import Reg, WORD_MASK
+from repro.cpu.isa import Reg, WORD_MASK, _NO_YIELDS
 from repro.memsys.cache import CachePolicy
 from repro.sim.process import Timeout
 
@@ -43,27 +43,39 @@ class InstructionCounts:
     retired instruction is charged to every currently open region.  This is
     how the benchmarks attribute instructions to "send overhead" vs
     "receive overhead" exactly as the paper's Table 1 does.
+
+    ``_active`` is a count map (region name -> open depth), so nested
+    same-name regions compose correctly: reopening a region does not
+    double-charge retired instructions, and closing pairs with the
+    innermost open (closes are just decrements, so nesting order cannot
+    be confused the way a first-occurrence list removal could).
     """
 
     def __init__(self):
         self.total = 0
         self.by_region = {}
         self.copy_words = 0
-        self._active = []
+        self._active = {}
 
     def open_region(self, name):
-        self._active.append(name)
+        self._active[name] = self._active.get(name, 0) + 1
         self.by_region.setdefault(name, 0)
 
     def close_region(self, name):
-        if name not in self._active:
+        depth = self._active.get(name, 0)
+        if not depth:
             raise RuntimeError("closing region %r that is not open" % name)
-        self._active.remove(name)
+        if depth == 1:
+            del self._active[name]
+        else:
+            self._active[name] = depth - 1
 
     def on_retire(self):
         self.total += 1
-        for name in self._active:
-            self.by_region[name] += 1
+        if self._active:
+            by_region = self.by_region
+            for name in self._active:
+                by_region[name] += 1
 
     def region(self, name):
         """Instructions retired inside region ``name`` (0 if never opened)."""
@@ -73,22 +85,67 @@ class InstructionCounts:
         self.total = 0
         self.by_region = {}
         self.copy_words = 0
-        self._active = []
+        self._active = {}
+
+
+class RegisterFile:
+    """Name-indexed mapping view over a context's register list.
+
+    The architectural home of register values is ``Context.reg_values``, a
+    fixed list indexed by :attr:`Reg.index` -- that is what the interpreter's
+    hot paths touch.  This view keeps the convenient ``ctx.registers["r0"]``
+    spelling working for tests, kernels and examples.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values):
+        self._values = values
+
+    def __getitem__(self, name):
+        return self._values[Reg.INDEX[name]]
+
+    def __setitem__(self, name, value):
+        self._values[Reg.INDEX[name]] = value
+
+    def __contains__(self, name):
+        return name in Reg.INDEX
+
+    def __iter__(self):
+        return iter(Reg.NAMES)
+
+    def __len__(self):
+        return len(Reg.NAMES)
+
+    def keys(self):
+        return Reg.NAMES
+
+    def values(self):
+        return tuple(self._values)
+
+    def items(self):
+        return tuple(zip(Reg.NAMES, self._values))
+
+    def __repr__(self):
+        return "RegisterFile(%s)" % (
+            ", ".join("%s=%#x" % pair for pair in self.items())
+        )
 
 
 class Context:
     """Architectural state of one software thread (process)."""
 
     def __init__(self, entry_pc=0, stack_top=0):
-        self.registers = {name: 0 for name in Reg.NAMES}
-        self.registers["sp"] = stack_top
+        self.reg_values = [0] * len(Reg.NAMES)
+        self.reg_values[Reg.INDEX["sp"]] = stack_top
+        self.registers = RegisterFile(self.reg_values)
         self.flags = {"zf": False, "sf": False}
         self.pc = entry_pc
         self.halted = False
 
     def copy(self):
         other = Context()
-        other.registers = dict(self.registers)
+        other.reg_values[:] = self.reg_values
         other.flags = dict(self.flags)
         other.pc = self.pc
         other.halted = self.halted
@@ -114,14 +171,15 @@ class Cpu:
         self.syscall_handler = None  # set by the kernel
         self.fault_handler = None  # set by the kernel
         self._preempt = False
+        self._timeouts = {}  # cycles -> reusable Timeout (immutable requests)
 
     # -- register / flag access (used by instruction classes) -----------------
 
     def get_reg(self, reg):
-        return self.context.registers[reg.name]
+        return self.context.reg_values[reg.index]
 
     def set_reg(self, reg, value):
-        self.context.registers[reg.name] = value & WORD_MASK
+        self.context.reg_values[reg.index] = value & WORD_MASK
 
     @property
     def flags(self):
@@ -136,8 +194,11 @@ class Cpu:
             self.context.flags["sf"] = bool(result & 0x80000000)
 
     def effective_addr(self, mem_operand):
-        base = 0 if mem_operand.base is None else self.get_reg(mem_operand.base)
-        return (base + mem_operand.disp) & WORD_MASK
+        if mem_operand.base is None:
+            return mem_operand.disp & WORD_MASK
+        return (
+            self.context.reg_values[mem_operand.base.index] + mem_operand.disp
+        ) & WORD_MASK
 
     def jump_to(self, index):
         self._jump_target = index
@@ -156,6 +217,9 @@ class Cpu:
     # -- memory access ----------------------------------------------------------
 
     def mem_read(self, vaddr):
+        # The hottest instruction executes inline this translate + cache
+        # pair (see repro.cpu.isa) to shorten their generator chain; keep
+        # the two in sync.
         paddr, policy = self.mmu.translate(vaddr, "read")
         value = yield from self.cache.read(paddr, policy)
         return value
@@ -221,25 +285,42 @@ class Cpu:
         """
         self.program = program
         self.context = context
-        slice_start = self.sim.now
+        sim = self.sim
+        slice_start = sim._now
+        bounded = max_ns is not None
+        # Hot loop: everything touched per instruction is bound to a local.
+        code = program.code
+        code_len = len(code)
+        clock_ns = self.params.cpu_clock_ns
+        timeouts = self._timeouts
         while True:
             if context.halted:
                 return "halt"
-            yield from self._take_interrupts()
+            if self._pending_interrupts:
+                yield from self._take_interrupts()
             if self._preempt:
                 self._preempt = False
                 return "timeslice"
-            if max_ns is not None and self.sim.now - slice_start >= max_ns:
+            if bounded and sim._now - slice_start >= max_ns:
                 return "timeslice"
-            if context.pc >= len(program.code):
+            if context.pc >= code_len:
                 context.halted = True
                 return "halt"
-            instr = program.code[context.pc]
+            instr = code[context.pc]
             self._jump_target = None
-            if instr.cycles:
-                yield Timeout(instr.cycles * self.params.cpu_clock_ns)
+            cycles = instr.cycles
+            if cycles:
+                timeout = timeouts.get(cycles)
+                if timeout is None:
+                    timeout = timeouts[cycles] = Timeout(cycles * clock_ns)
+                yield timeout
             try:
-                yield from instr.execute(self)
+                # Register-only instructions return the _NO_YIELDS
+                # sentinel from a plain call; only memory-touching ones
+                # pay for a generator delegation.
+                step = instr.execute(self)
+                if step is not _NO_YIELDS:
+                    yield from step
             except PageFault as fault:
                 if self.fault_handler is None:
                     raise
@@ -247,7 +328,7 @@ class Cpu:
                 continue  # restart the faulting instruction
             if instr.counts:
                 self.counts.on_retire()
-                self.cycles_retired += instr.cycles
+                self.cycles_retired += cycles
             context.pc = (
                 self._jump_target if self._jump_target is not None
                 else context.pc + 1

@@ -7,10 +7,14 @@ as used by the deliberate-update initiation protocol (paper section 4.3),
 and ``rep movs`` string copy (one instruction plus per-word costs, which is
 how the paper excludes "per-byte copying costs" from primitive overhead).
 
-Instruction ``execute`` methods are generators run by the CPU core; they
-use the core's ``mem_read``/``mem_write``/``mem_cmpxchg`` helpers for all
-memory traffic so every access goes through the MMU, cache and bus.
+Instruction ``execute`` methods are generators run by the CPU core; all
+memory traffic goes through the MMU, cache and bus.  The hottest executes
+inline the core's ``mem_read``/``mem_write`` helpers (an MMU translate
+plus a cache access) to keep the per-event generator chain short; the
+helpers remain the API for kernels, devices and the rarer instructions.
 """
+
+from repro.memsys.cache import CACHE_MISS
 
 WORD_MASK = 0xFFFFFFFF
 
@@ -25,15 +29,21 @@ class Reg:
     ``r0`` is the accumulator: ``CMPXCHG`` compares against it and loads it
     on failure, mirroring EAX on the i486/Pentium.  ``sp`` is the stack
     pointer used by push/pop/call/ret.
+
+    ``index`` is the register's position in ``Context.reg_values``; it is
+    precomputed here so the interpreter's register accesses are plain list
+    indexing rather than dict lookups by name.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "index")
     NAMES = ("r0", "r1", "r2", "r3", "r4", "r5", "sp")
+    INDEX = {name: i for i, name in enumerate(NAMES)}
 
     def __init__(self, name):
-        if name not in self.NAMES:
+        if name not in self.INDEX:
             raise IsaError("unknown register %r" % (name,))
         self.name = name
+        self.index = self.INDEX[name]
 
     def __repr__(self):
         return self.name
@@ -90,6 +100,53 @@ def _signed(value):
     return value - (1 << 32) if value & 0x80000000 else value
 
 
+# -- operand access, decoded once at assembly time ---------------------------
+#
+# Instructions cache closures for their operands when they are constructed
+# (i.e. when the program is assembled), so the per-execution work for
+# register and immediate operands is a single call with no isinstance
+# dispatch and -- crucially -- no generator trampoline.  Memory operands
+# charge simulated cache/bus time; the hot executes below translate and
+# call the cache directly (inlining ``cpu.mem_read``/``mem_write``) so the
+# access costs one nested generator instead of two.
+
+
+def _fast_reader(operand):
+    """Zero-sim-time reader closure for a Reg/Imm operand; None for Mem."""
+    if isinstance(operand, Imm):
+        value = operand.value
+        return lambda cpu: value
+    if isinstance(operand, Reg):
+        index = operand.index
+        return lambda cpu: cpu.context.reg_values[index]
+    return None
+
+
+def _fast_writer(operand):
+    """Zero-sim-time writer closure for a Reg operand; None for Mem."""
+    if isinstance(operand, Reg):
+        index = operand.index
+
+        def write(cpu, value):
+            cpu.context.reg_values[index] = value & WORD_MASK
+
+        return write
+    return None
+
+
+def _addr_of(operand):
+    """Effective-address closure for a Mem operand (decoded once)."""
+    if operand.base is None:
+        addr = operand.disp & WORD_MASK
+        return lambda cpu: addr
+    index = operand.base.index
+    disp = operand.disp
+    return lambda cpu: (cpu.context.reg_values[index] + disp) & WORD_MASK
+
+
+_NO_YIELDS = ()  # sentinel iterable: ``yield from _NO_YIELDS`` is free
+
+
 class Instruction:
     """Base class.  ``cycles`` is the non-memory execution cost."""
 
@@ -110,7 +167,15 @@ class Instruction:
 
 
 class _TwoOp(Instruction):
-    """Shared plumbing for dst/src instructions."""
+    """Shared plumbing for dst/src instructions.
+
+    Operand access is decoded once at construction: ``_src_get``/``_dst_get``
+    and ``_dst_set`` are closures for register/immediate operands (or None
+    for memory), ``_src_addr``/``_dst_addr`` are effective-address closures
+    for memory operands.  Subclasses whose operands turn out to be
+    register-only swap in a plain-function ``execute`` so the interpreter
+    never builds a generator for them.
+    """
 
     def __init__(self, dst, src):
         self.dst = _as_operand(dst)
@@ -119,27 +184,19 @@ class _TwoOp(Instruction):
             raise IsaError("%s: destination cannot be an immediate" % self.mnemonic)
         if isinstance(self.dst, Mem) and isinstance(self.src, Mem):
             raise IsaError("%s: memory-to-memory is not encodable" % self.mnemonic)
+        self._src_get = _fast_reader(self.src)
+        self._src_addr = None if self._src_get else _addr_of(self.src)
+        self._dst_get = _fast_reader(self.dst)
+        self._dst_set = _fast_writer(self.dst)
+        self._dst_addr = None if self._dst_set else _addr_of(self.dst)
+        if self._src_get is not None and self._dst_set is not None:
+            self.execute = self._execute_reg
 
     def _fmt_ops(self):
         return "%r, %r" % (self.dst, self.src)
 
-    def _read(self, cpu, operand):
-        if isinstance(operand, Imm):
-            return operand.value
-            yield  # pragma: no cover
-        if isinstance(operand, Reg):
-            return cpu.get_reg(operand)
-            yield  # pragma: no cover
-        value = yield from cpu.mem_read(cpu.effective_addr(operand))
-        return value
-
-    def _write(self, cpu, operand, value):
-        value &= WORD_MASK
-        if isinstance(operand, Reg):
-            cpu.set_reg(operand, value)
-            return
-            yield  # pragma: no cover
-        yield from cpu.mem_write(cpu.effective_addr(operand), value)
+    def _execute_reg(self, cpu):  # pragma: no cover -- overridden where used
+        raise NotImplementedError
 
 
 class Mov(_TwoOp):
@@ -147,9 +204,26 @@ class Mov(_TwoOp):
 
     mnemonic = "mov"
 
+    def _execute_reg(self, cpu):
+        self._dst_set(cpu, self._src_get(cpu))
+        return _NO_YIELDS
+
     def execute(self, cpu):
-        value = yield from self._read(cpu, self.src)
-        yield from self._write(cpu, self.dst, value)
+        if self._src_get is not None:
+            value = self._src_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._src_addr(cpu), "read")
+            cache = cpu.cache
+            value = cache.read_hit(paddr, policy)
+            if value is CACHE_MISS:
+                value = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
+        if self._dst_set is not None:
+            self._dst_set(cpu, value)
+        else:
+            paddr, policy = cpu.mmu.translate(self._dst_addr(cpu), "write")
+            yield from cpu.cache.write(paddr, value & WORD_MASK, policy)
 
 
 class Lea(Instruction):
@@ -162,14 +236,15 @@ class Lea(Instruction):
             raise IsaError("lea needs a register destination and memory source")
         self.dst = dst
         self.src = src
+        self._src_addr = _addr_of(src)
+        self._dst_index = dst.index
 
     def _fmt_ops(self):
         return "%r, %r" % (self.dst, self.src)
 
     def execute(self, cpu):
-        cpu.set_reg(self.dst, cpu.effective_addr(self.src))
-        return
-        yield  # pragma: no cover
+        cpu.context.reg_values[self._dst_index] = self._src_addr(cpu)
+        return _NO_YIELDS
 
 
 class _Alu(_TwoOp):
@@ -178,12 +253,40 @@ class _Alu(_TwoOp):
     def _op(self, a, b):
         raise NotImplementedError
 
+    def _execute_reg(self, cpu):
+        result = self._op(self._dst_get(cpu), self._src_get(cpu)) & WORD_MASK
+        cpu.set_flags(result)
+        self._dst_set(cpu, result)
+        return _NO_YIELDS
+
     def execute(self, cpu):
-        a = yield from self._read(cpu, self.dst)
-        b = yield from self._read(cpu, self.src)
+        if self._dst_get is not None:
+            a = self._dst_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._dst_addr(cpu), "read")
+            cache = cpu.cache
+            a = cache.read_hit(paddr, policy)
+            if a is CACHE_MISS:
+                a = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
+        if self._src_get is not None:
+            b = self._src_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._src_addr(cpu), "read")
+            cache = cpu.cache
+            b = cache.read_hit(paddr, policy)
+            if b is CACHE_MISS:
+                b = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
         result = self._op(a, b) & WORD_MASK
         cpu.set_flags(result)
-        yield from self._write(cpu, self.dst, result)
+        if self._dst_set is not None:
+            self._dst_set(cpu, result)
+        else:
+            paddr, policy = cpu.mmu.translate(self._dst_addr(cpu), "write")
+            yield from cpu.cache.write(paddr, result, policy)
 
 
 class Add(_Alu):
@@ -256,21 +359,34 @@ class _IncDec(Instruction):
         self.dst = _as_operand(dst)
         if isinstance(self.dst, Imm):
             raise IsaError("%s needs a writable destination" % self.mnemonic)
+        self._dst_get = _fast_reader(self.dst)
+        self._dst_set = _fast_writer(self.dst)
+        self._dst_addr = None if self._dst_set else _addr_of(self.dst)
+        if self._dst_set is not None:
+            self.execute = self._execute_reg
 
     def _fmt_ops(self):
         return repr(self.dst)
 
+    def _execute_reg(self, cpu):
+        result = (self._dst_get(cpu) + self.delta) & WORD_MASK
+        cpu.set_flags(result)
+        self._dst_set(cpu, result)
+        return _NO_YIELDS
+
     def execute(self, cpu):
-        if isinstance(self.dst, Reg):
-            value = cpu.get_reg(self.dst)
+        addr = self._dst_addr(cpu)
+        paddr, policy = cpu.mmu.translate(addr, "read")
+        cache = cpu.cache
+        value = cache.read_hit(paddr, policy)
+        if value is CACHE_MISS:
+            value = yield from cache.read(paddr, policy)
         else:
-            value = yield from cpu.mem_read(cpu.effective_addr(self.dst))
+            yield cache.hit_timeout
         result = (value + self.delta) & WORD_MASK
         cpu.set_flags(result)
-        if isinstance(self.dst, Reg):
-            cpu.set_reg(self.dst, result)
-        else:
-            yield from cpu.mem_write(cpu.effective_addr(self.dst), result)
+        paddr, policy = cpu.mmu.translate(addr, "write")
+        yield from cpu.cache.write(paddr, result, policy)
 
 
 class Inc(_IncDec):
@@ -294,12 +410,39 @@ class Cmp(_TwoOp):
 
     def __init__(self, dst, src):
         # cmp allows an immediate first operand? No -- match x86: dst is
-        # reg or mem.  Reuse _TwoOp validation.
+        # reg or mem.  Reuse _TwoOp validation; flags-only, so the fast
+        # path needs readable operands, not a writable destination.
         super().__init__(dst, src)
+        if self._dst_get is not None and self._src_get is not None:
+            self.execute = self._execute_reg
+
+    def _execute_reg(self, cpu):
+        a = self._dst_get(cpu)
+        b = self._src_get(cpu)
+        cpu.set_flags((a - b) & WORD_MASK, signed_pair=(_signed(a), _signed(b)))
+        return _NO_YIELDS
 
     def execute(self, cpu):
-        a = yield from self._read(cpu, self.dst)
-        b = yield from self._read(cpu, self.src)
+        if self._dst_get is not None:
+            a = self._dst_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._dst_addr(cpu), "read")
+            cache = cpu.cache
+            a = cache.read_hit(paddr, policy)
+            if a is CACHE_MISS:
+                a = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
+        if self._src_get is not None:
+            b = self._src_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._src_addr(cpu), "read")
+            cache = cpu.cache
+            b = cache.read_hit(paddr, policy)
+            if b is CACHE_MISS:
+                b = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
         result = (a - b) & WORD_MASK
         cpu.set_flags(result, signed_pair=(_signed(a), _signed(b)))
 
@@ -309,9 +452,36 @@ class Test(_TwoOp):
 
     mnemonic = "test"
 
+    def __init__(self, dst, src):
+        super().__init__(dst, src)
+        if self._dst_get is not None and self._src_get is not None:
+            self.execute = self._execute_reg
+
+    def _execute_reg(self, cpu):
+        cpu.set_flags((self._dst_get(cpu) & self._src_get(cpu)) & WORD_MASK)
+        return _NO_YIELDS
+
     def execute(self, cpu):
-        a = yield from self._read(cpu, self.dst)
-        b = yield from self._read(cpu, self.src)
+        if self._dst_get is not None:
+            a = self._dst_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._dst_addr(cpu), "read")
+            cache = cpu.cache
+            a = cache.read_hit(paddr, policy)
+            if a is CACHE_MISS:
+                a = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
+        if self._src_get is not None:
+            b = self._src_get(cpu)
+        else:
+            paddr, policy = cpu.mmu.translate(self._src_addr(cpu), "read")
+            cache = cpu.cache
+            b = cache.read_hit(paddr, policy)
+            if b is CACHE_MISS:
+                b = yield from cache.read(paddr, policy)
+            else:
+                yield cache.hit_timeout
         cpu.set_flags((a & b) & WORD_MASK)
 
 
@@ -334,8 +504,7 @@ class Jmp(Instruction):
     def execute(self, cpu):
         if self.taken(cpu):
             cpu.jump_to(self.target_index)
-        return
-        yield  # pragma: no cover
+        return _NO_YIELDS
 
 
 class Jz(Jmp):
@@ -517,9 +686,13 @@ class RepMovs(Instruction):
         count = cpu.get_reg(R3)
         src = cpu.get_reg(R1)
         dst = cpu.get_reg(R2)
+        translate = cpu.mmu.translate
+        cache = cpu.cache
         for _ in range(count):
-            value = yield from cpu.mem_read(src)
-            yield from cpu.mem_write(dst, value)
+            paddr, policy = translate(src, "read")
+            value = yield from cache.read(paddr, policy)
+            paddr, policy = translate(dst, "write")
+            yield from cache.write(paddr, value, policy)
             src = (src + 4) & WORD_MASK
             dst = (dst + 4) & WORD_MASK
         cpu.set_reg(R1, src)
@@ -534,8 +707,7 @@ class Nop(Instruction):
     mnemonic = "nop"
 
     def execute(self, cpu):
-        return
-        yield  # pragma: no cover
+        return _NO_YIELDS
 
 
 class Halt(Instruction):
@@ -545,8 +717,7 @@ class Halt(Instruction):
 
     def execute(self, cpu):
         cpu.halt()
-        return
-        yield  # pragma: no cover
+        return _NO_YIELDS
 
 
 class Syscall(Instruction):
@@ -588,5 +759,4 @@ class RegionMarker(Instruction):
             cpu.counts.open_region(self.name)
         else:
             cpu.counts.close_region(self.name)
-        return
-        yield  # pragma: no cover
+        return _NO_YIELDS

@@ -25,6 +25,11 @@ class CachePolicy:
     ALL = (WRITE_BACK, WRITE_THROUGH, UNCACHED)
 
 
+# Returned by :meth:`Cache.read_hit` when the access cannot be served as a
+# plain cache hit (miss or uncached) and must take the generator path.
+CACHE_MISS = object()
+
+
 class _Line:
     __slots__ = ("tag", "valid", "dirty", "data", "lru")
 
@@ -63,6 +68,9 @@ class Cache:
         self.misses = Counter(name + ".misses")
         self.writebacks = Counter(name + ".writebacks")
         self.snoop_invalidations = Counter(name + ".snoop_invalidations")
+        # Timeout requests are immutable, so every hit can yield this one
+        # instance instead of allocating a fresh object per access.
+        self.hit_timeout = Timeout(params.cache_hit_ns)
         bus.add_snooper(self._snoop)
 
     # -- geometry -------------------------------------------------------------
@@ -118,6 +126,25 @@ class Cache:
 
     # -- CPU-facing operations ---------------------------------------------------
 
+    def read_hit(self, addr, policy):
+        """Plain-call fast path: the word at ``addr`` on a cache hit.
+
+        Returns :data:`CACHE_MISS` when the access cannot be served from
+        the cache (miss, or an uncached page) and must take the
+        :meth:`read` generator.  On a hit the caller owes the simulated
+        hit latency: it must ``yield self.hit_timeout``.  The hot
+        instruction executes use this to skip a generator frame on the
+        overwhelmingly common hit.
+        """
+        if policy == CachePolicy.UNCACHED:
+            return CACHE_MISS
+        line = self._lookup(addr)
+        if line is None:
+            return CACHE_MISS
+        self.hits.bump()
+        self._touch(line)
+        return line.data[self._word_in_line(addr)]
+
     def read(self, addr, policy):
         """Generator: read one word at ``addr`` under the given page policy."""
         if policy == CachePolicy.UNCACHED:
@@ -127,7 +154,7 @@ class Cache:
         if line is not None:
             self.hits.bump()
             self._touch(line)
-            yield Timeout(self.params.cache_hit_ns)
+            yield self.hit_timeout
             return line.data[self._word_in_line(addr)]
         self.misses.bump()
         line = yield from self._fill(addr)
@@ -158,7 +185,7 @@ class Cache:
         else:
             self.hits.bump()
             self._touch(line)
-            yield Timeout(self.params.cache_hit_ns)
+            yield self.hit_timeout
         line.data[self._word_in_line(addr)] = value
         line.dirty = True
 

@@ -5,10 +5,45 @@ NIC and its router).  It has a per-flit transfer time (setting the link
 bandwidth) and a bounded receive buffer: a full buffer blocks the sender,
 which is how wormhole backpressure propagates hop by hop all the way back
 to a sending NIC.
+
+Implementation: timestamped burst transfers.  The per-flit reference
+behaviour is ``Timeout(link_flit_ns)`` then a blocking put -- one timed
+event plus a signal round-trip per flit.  This link instead lets the
+single writer deposit a *chunk* of flits up front, each stamped with the
+simulated time it would have completed transfer (``ready_at``, spaced
+``link_flit_ns`` apart), then sleep once for the whole chunk.  The single
+reader only sees a flit once its stamp matures, so arrival times are
+identical to the per-flit model.
+
+Backpressure stays flit-exact through three rules:
+
+- A reader that consumes flits ahead of time (the router's batched
+  forwarding pops flits it will only finish forwarding later) declares a
+  *future free time* per popped slot.  The slot stays counted as occupied
+  until then, so an upstream writer never squeezes a flit in earlier
+  than the reference model would have admitted it.
+- A chunk never exceeds the *claimable* slots at chunk start: the free
+  slots plus the declared future frees.  A flit routed through a future
+  free lands at ``max(transfer done, declared free time)`` -- the exact
+  instant the reference model's blocked put would have completed,
+  because the single FIFO reader frees slots at non-decreasing times, so
+  no slot can open earlier than the declared schedule.
+- With no claimable slot at all (buffered flits the reader has not yet
+  committed to), the writer parks until the reader frees or declares a
+  slot, then places the flit arithmetically at ``max(transfer done,
+  slot time)`` -- the instant the reference model's blocked put would
+  have completed -- costing one wake-up per flit instead of a transfer
+  sleep plus a slot wait.
+
+Each link has exactly one writer (wormhole switching holds the upstream
+output port; injection ports are mutex-guarded) and one reader (the
+downstream router's input process or the NIC accept loop), which is what
+makes the stamp and free-time bookkeeping race-free.
 """
 
-from repro.sim.process import Timeout
-from repro.sim.resources import BoundedQueue
+from collections import deque
+
+from repro.sim.process import Signal, Timeout, Wait
 from repro.sim.trace import Counter
 
 
@@ -19,28 +54,223 @@ class Link:
         self.sim = sim
         self.params = params
         self.name = name
-        self._buffer = BoundedQueue(
-            sim, capacity=params.input_buffer_flits, name=name + ".buf"
-        )
+        self.capacity = params.input_buffer_flits
+        self._entries = deque()  # (ready_at, flit), ready_at non-decreasing
+        self._frees = deque()  # future slot-free times, non-decreasing
+        self._not_full = Signal(sim, name + ".not_full")
+        self._not_empty = Signal(sim, name + ".not_empty")
+        # Wait requests are immutable; reuse one per signal instead of
+        # allocating a fresh one for every park on the hot path.
+        self._wait_not_full = Wait(self._not_full)
+        self._wait_not_empty = Wait(self._not_empty)
         self.flits_moved = Counter(name + ".flits")
+
+    # -- occupancy accounting --------------------------------------------------
+
+    def free_slots(self):
+        """Buffer slots a writer may claim right now.
+
+        Drops matured future-free records on the way (a slot consumed
+        ahead of time stops counting once its declared free time passes).
+        """
+        frees = self._frees
+        if frees:
+            now = self.sim._now
+            while frees and frees[0] <= now:
+                frees.popleft()
+        return self.capacity - len(self._entries) - len(frees)
+
+    @property
+    def occupancy(self):
+        """Flits buffered (deposited and not yet consumed by the reader)."""
+        return len(self._entries)
+
+    def is_full(self):
+        return self.free_slots() <= 0
+
+    # -- writer side -----------------------------------------------------------
+
+    def _deposit(self, ready_at, flit):
+        self._entries.append((ready_at, flit))
+        self.flits_moved.bump()
+        self._not_empty.fire()
+
+    def _wait_for_slot(self):
+        """Generator: block until at least one buffer slot is free *now*."""
+        while self.free_slots() <= 0:
+            frees = self._frees
+            if frees:
+                # A consumed-ahead slot matures at a known time; no reader
+                # pop can free one earlier (free times are non-decreasing).
+                yield Timeout(frees[0] - self.sim._now)
+            else:
+                yield self._wait_not_full
+
+    def wait_claimable(self):
+        """Generator: block until :meth:`claim_times` has something to give
+        (a slot free now, or a consumed-ahead slot with a declared future
+        free time -- the writer need not sleep to the maturity itself)."""
+        while self.free_slots() <= 0 and not self._frees:
+            yield self._wait_not_full
 
     def send(self, flit):
         """Generator: transfer one flit (timed), blocking on a full buffer."""
         yield Timeout(self.params.link_flit_ns)
-        yield from self._buffer.put(flit)
-        self.flits_moved.bump()
+        yield from self._wait_for_slot()
+        self._deposit(self.sim._now, flit)
+
+    def send_burst(self, flits):
+        """Generator: transfer ``flits`` in capacity-bounded chunks.
+
+        Arrival times and backpressure blocking are identical to calling
+        :meth:`send` once per flit; uncontended chunks just cost one timed
+        event each instead of several events per flit.  A chunk may also
+        run through slots claimable at known future times (declared by a
+        consumed-ahead reader): each flit then lands at
+        ``max(transfer done, claimed slot time)`` -- the instant the
+        reference model's blocked put would have completed.  With nothing
+        claimable the writer parks until the reader frees a slot; landing
+        times are computed arithmetically on wake-up, so a blocked burst
+        costs about one event per flit.  The single sleep at the end
+        paces the sender to the last flit's landing time.
+        """
+        flit_ns = self.params.link_flit_ns
+        sim = self.sim
+        i = 0
+        n = len(flits)
+        done = sim._now  # reference completion time of the previous flit
+        while i < n:
+            claim = self.claim_times(n - i)
+            if not claim:
+                yield from self.wait_claimable()
+                continue
+            sends = []
+            for slot_at in claim:
+                land = done + flit_ns
+                if slot_at > land:
+                    land = slot_at
+                sends.append((land, flits[i + len(sends)]))
+                done = land
+            self.deposit_scheduled(sends)
+            i += len(sends)
+        if done > sim._now:
+            yield Timeout(done - sim._now)
+
+    def claim_times(self, limit):
+        """Times at which the writer may claim the next buffer slots.
+
+        Returns at most ``limit`` non-decreasing times: ``now`` for each
+        currently-free slot, then the declared free times of
+        consumed-ahead slots (see :meth:`pop_entries`).  Because the
+        single reader frees slots in FIFO order at non-decreasing times,
+        no slot can become claimable earlier than this schedule says --
+        which is what lets a writer *reserve* future slots and deposit
+        flits stamped with their exact per-flit landing times in one
+        batch, instead of blocking per flit.
+
+        Slots currently holding undelivered flits are not claimable (the
+        reader has not committed to a pop time for them), so the list may
+        be shorter than ``limit``; the writer falls back to the blocking
+        per-flit path for the remainder.
+        """
+        free = self.free_slots()
+        now = self.sim._now
+        if free >= limit:
+            return [now] * limit
+        times = [now] * free if free > 0 else []
+        need = limit - len(times)
+        frees = self._frees
+        if need >= len(frees):
+            times.extend(frees)
+        else:
+            for free_at in frees:
+                times.append(free_at)
+                need -= 1
+                if not need:
+                    break
+        return times
+
+    def deposit_scheduled(self, land_flit_pairs):
+        """Deposit flits stamped with precomputed landing times.
+
+        The caller must have obtained slot availability via
+        :meth:`claim_times` at the current instant and computed each
+        ``land`` as ``max(transfer done, claimed slot time)``; slots are
+        claimed in order, currently-free ones first, so the matching
+        number of future-free records is consumed here.
+        """
+        free = self.free_slots()
+        entries = self._entries
+        count = 0
+        for pair in land_flit_pairs:
+            entries.append(pair)
+            count += 1
+        claimed_future = count - free
+        if claimed_future > 0:
+            frees = self._frees
+            if claimed_future > len(frees):
+                raise RuntimeError(
+                    "%s: deposited %d flits into %d claimable slots"
+                    % (self.name, count, free + len(frees))
+                )
+            for _ in range(claimed_future):
+                frees.popleft()
+        self.flits_moved.bump(count)
+        self._not_empty.fire()
+
+    # -- reader side -----------------------------------------------------------
 
     def receive(self):
-        """Generator: take the next flit, blocking while the link is empty."""
-        flit = yield from self._buffer.get()
-        return flit
+        """Generator: take the next flit, blocking while the link is empty.
+
+        A deposited flit is only handed over once its transfer-completion
+        stamp matures.
+        """
+        while True:
+            if self._entries:
+                ready_at, flit = self._entries[0]
+                now = self.sim._now
+                if ready_at <= now:
+                    self._entries.popleft()
+                    self._not_full.fire()
+                    return flit
+                yield Timeout(ready_at - now)
+            else:
+                yield self._wait_not_empty
 
     def try_receive(self):
-        return self._buffer.try_get()
+        """Non-blocking receive.  Returns (True, flit) or (False, None)."""
+        if self._entries and self._entries[0][0] <= self.sim._now:
+            _, flit = self._entries.popleft()
+            self._not_full.fire()
+            return True, flit
+        return False, None
 
-    @property
-    def occupancy(self):
-        return len(self._buffer)
+    def peek_entries(self):
+        """The deposited (ready_at, flit) queue, oldest first (read-only).
 
-    def is_full(self):
-        return self._buffer.is_full()
+        Entries may carry future stamps; a batching reader must account
+        for them (see :meth:`pop_entries`).
+        """
+        return self._entries
+
+    def pop_entries(self, count, free_times):
+        """Consume ``count`` deposited flits ahead of their hand-over times.
+
+        ``free_times[j]`` is the simulated time the j-th slot is to be
+        considered free -- the time the per-flit reference reader would
+        have popped it.  Slots with future free times stay counted against
+        the writer's capacity until they mature.  A parked writer is woken
+        immediately even for future frees: it can *claim* the slot right
+        away (see :meth:`claim_times`) and stamp its flit with the exact
+        per-flit landing time, instead of sleeping to the maturity first.
+        """
+        entries = self._entries
+        frees = self._frees
+        now = self.sim._now
+        for j in range(count):
+            entries.popleft()
+            free_at = free_times[j]
+            if free_at > now:
+                frees.append(free_at)
+        self._not_full.fire()

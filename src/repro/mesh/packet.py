@@ -23,16 +23,28 @@ class PacketError(Exception):
 _CRC16_POLY = 0x1021  # CRC-16/CCITT
 
 
-def crc16(data, initial=0xFFFF):
-    """CRC-16/CCITT-FALSE over a byte sequence."""
-    crc = initial
-    for byte in data:
-        crc ^= byte << 8
+def _crc16_table():
+    table = []
+    for byte in range(256):
+        crc = byte << 8
         for _ in range(8):
             if crc & 0x8000:
                 crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
             else:
                 crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC16_TABLE = _crc16_table()
+
+
+def crc16(data, initial=0xFFFF):
+    """CRC-16/CCITT-FALSE over a byte sequence (table-driven, byte at a time)."""
+    crc = initial
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFF00) ^ table[(crc >> 8) ^ byte]
     return crc
 
 

@@ -91,7 +91,19 @@ class Router:
     def _input_process(self, port, in_link):
         """Forward worms arriving on one input port, forever."""
         while True:
-            flit = yield from in_link.receive()
+            pending = in_link.peek_entries()
+            if pending:
+                # Fold the head flit's arrival-stamp wait and the routing
+                # decision latency into one sleep (the reference reader
+                # pops at the stamp, then pays the hop delay).
+                ready_at, flit = pending[0]
+                now = self.sim._now
+                recv = ready_at if ready_at > now else now
+                in_link.pop_entries(1, (recv,))
+                head_delay = recv + self.params.router_hop_ns - now
+            else:
+                flit = yield from in_link.receive()
+                head_delay = self.params.router_hop_ns
             if not flit.is_head:
                 raise RoutingError(
                     "%s.%s: worm out of sync, got %r expecting a head flit"
@@ -105,15 +117,113 @@ class Router:
                     % (self.name, out_name, flit.packet)
                 )
             # Head-flit routing decision latency.
-            yield Timeout(self.params.router_hop_ns)
+            yield Timeout(head_delay)
             yield from output.mutex.acquire(owner=flit.packet)
             try:
-                yield from output.link.send(flit)
-                self.flits_forwarded.bump()
-                while not flit.is_tail:
-                    flit = yield from in_link.receive()
-                    yield from output.link.send(flit)
-                    self.flits_forwarded.bump()
+                yield from self._forward_worm(flit, in_link, output.link)
             finally:
                 output.mutex.release()
             self.packets_routed.bump()
+
+    def _forward_worm(self, head, in_link, out_link):
+        """Generator: forward a worm (head flit in hand) through to its tail.
+
+        The per-flit reference behaviour is receive (waiting for the flit's
+        arrival stamp), then send (one link transfer time, blocking while
+        the output buffer is full).  This loop computes the same pipeline
+        schedule arithmetically -- each flit is received at
+        ``max(previous send done, arrival)`` and lands at
+        ``max(receive + transfer time, claimed slot time)`` -- declaring
+        input slots free at the computed receive times and stamping output
+        flits with the computed landing times, so neighbours observe
+        timing identical to the per-flit path even under backpressure.
+        Three regimes:
+
+        - output slots claimable (free now or at declared future times):
+          forward as many deposited flits as there are claims, no sleeps;
+        - output starved (buffered flits the downstream reader has not
+          committed to): consume the next flit at its reference receive
+          time, park until a slot is claimable, then place the flit
+          arithmetically -- one wake-up per flit instead of a transfer
+          sleep plus a slot wait;
+        - input empty (worm strung out upstream): pace to the reference
+          clock and fall back to the plain receive/send pair.
+
+        The single sleep at the end paces the process to the tail's
+        landing time, where the output port is released.
+        """
+        flit_ns = self.params.link_flit_ns
+        sim = self.sim
+        # The head flit is placed arithmetically too: it lands at
+        # ``max(transfer done, claimed slot time)``, parking first only if
+        # nothing is claimable -- exactly the blocking send, minus its
+        # transfer sleep.
+        transfer_done = sim._now + flit_ns
+        claim = out_link.claim_times(1)
+        if not claim:
+            yield from out_link.wait_claimable()
+            claim = out_link.claim_times(1)
+        done = transfer_done if transfer_done > claim[0] else claim[0]
+        out_link.deposit_scheduled(((done, head),))
+        count = 1
+        if head.is_tail:
+            self.flits_forwarded.bump(count)
+            if done > sim._now:
+                yield Timeout(done - sim._now)
+            return
+        while True:
+            pending = in_link.peek_entries()
+            if not pending:
+                if done > sim._now:
+                    # Catch up to the reference clock first; flits may
+                    # arrive meanwhile, so re-peek before blocking.
+                    yield Timeout(done - sim._now)
+                    continue
+                flit = yield from in_link.receive()
+                yield from out_link.send(flit)
+                count += 1
+                done = sim._now
+                if flit.is_tail:
+                    break
+                continue
+            claim = out_link.claim_times(len(pending))
+            if claim:
+                recv_times = []
+                sends = []
+                batch = len(claim)
+                for ready_at, flit in pending:
+                    recv = ready_at if ready_at > done else done
+                    land = recv + flit_ns
+                    slot_at = claim[len(sends)]
+                    if slot_at > land:
+                        land = slot_at
+                    recv_times.append(recv)
+                    sends.append((land, flit))
+                    done = land
+                    if flit.is_tail or len(sends) >= batch:
+                        break
+                in_link.pop_entries(len(sends), recv_times)
+                out_link.deposit_scheduled(sends)
+                count += len(sends)
+                if flit.is_tail:
+                    break
+                continue
+            # Starved: consume the next flit exactly when the reference
+            # reader would, then park until the downstream reader frees a
+            # slot.  The landing time is computed on wake-up, so a blocked
+            # worm costs one event per flit.
+            ready_at, flit = pending[0]
+            recv = ready_at if ready_at > done else done
+            in_link.pop_entries(1, (recv,))
+            transfer_done = recv + flit_ns
+            yield from out_link.wait_claimable()
+            slot_at = out_link.claim_times(1)[0]
+            land = transfer_done if transfer_done > slot_at else slot_at
+            out_link.deposit_scheduled(((land, flit),))
+            done = land
+            count += 1
+            if flit.is_tail:
+                break
+        self.flits_forwarded.bump(count)
+        if done > sim._now:
+            yield Timeout(done - sim._now)

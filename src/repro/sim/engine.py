@@ -1,42 +1,101 @@
 """The event queue at the heart of the simulator.
 
-The engine is intentionally small: a binary heap of ``(time, seq, event)``
-entries.  ``seq`` is a monotonically increasing tie-breaker so that events
-scheduled for the same instant fire in the order they were scheduled, which
-makes every simulation run exactly deterministic.
+The engine keeps the classic ``(time, seq)`` contract -- ``seq`` is a
+monotonically increasing tie-breaker so that events scheduled for the same
+instant fire in the order they were scheduled, which makes every
+simulation run exactly deterministic -- but stores events in two
+structures tuned for the hot paths:
+
+- a binary heap of *slot-based* entries: each entry is a
+  :class:`ScheduledEvent`, a ``list`` subclass laid out as
+  ``[time, seq, callback, args, sim]``.  One allocation per event, and
+  heap ordering compares the list elements in C (``seq`` is unique, so
+  comparison never reaches the callback or the trailing ``sim`` slot,
+  which exists only for cancellation bookkeeping).
+- a same-time FIFO bucket for events scheduled *at the current instant*
+  (the zero-delay fast path).  Signal fires, process joins and wake-ups
+  all schedule at delay 0; appending to a deque instead of pushing
+  through the heap removes two O(log n) sifts per event.  Wake-ups that
+  never need cancelling go through :meth:`Simulator.post`, which appends
+  a bare ``[time, seq, callback, args]`` list with no
+  :class:`ScheduledEvent` wrapper at all.  Bucket entries always carry
+  ``time == now`` and, because time only moves forward, their sequence
+  numbers are strictly greater than any same-time entry still in the
+  heap -- so draining "heap first on ties" preserves the exact global
+  (time, seq) order.
+
+Cancellation stays O(1): an entry is marked dead in place (callback slot
+set to ``None``) and skipped when popped.  A run that cancels heavily
+(timeout-guarded waits, merge-window reschedules) is compacted lazily:
+when more than half the heap is dead entries, the heap is rebuilt without
+them in one pass.
 """
 
 import heapq
+from collections import deque
+
+_COMPACT_MIN_DEAD = 512  # never bother compacting tiny heaps
 
 
 class SimulationError(Exception):
     """Raised for illegal use of the simulation engine."""
 
 
-class ScheduledEvent:
+class ScheduledEvent(list):
     """A callback registered with the simulator.
 
     Returned by :meth:`Simulator.schedule` so callers can cancel the event
-    before it fires.  Cancellation is O(1): the entry stays in the heap but
-    is skipped when popped.
+    before it fires.  The instance *is* the queue entry -- a list of
+    ``[time, seq, callback, args, sim]`` -- which keeps scheduling to a
+    single allocation (``sim`` rides in a trailing slot, never reached by
+    heap comparisons because ``seq`` is unique).  Cancellation is O(1):
+    the entry stays queued but is skipped when popped.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ()
 
-    def __init__(self, time, callback, args):
-        self.time = time
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    # No __init__: instances are built from a (time, seq, callback, args,
+    # sim) tuple via the C-level list constructor in
+    # :meth:`Simulator.schedule` (the only producer).  This keeps event
+    # creation off the Python-frame hot path.
+
+    @property
+    def time(self):
+        return self[0]
+
+    @property
+    def seq(self):
+        return self[1]
+
+    @property
+    def callback(self):
+        return self[2]
+
+    @property
+    def args(self):
+        return self[3]
+
+    @property
+    def sim(self):
+        return self[4]
+
+    @property
+    def cancelled(self):
+        """True once cancelled *or* already fired (the entry is spent)."""
+        return self[2] is None
 
     def cancel(self):
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if self[2] is None:
+            return
+        self[2] = None
+        self[3] = ()
+        self[4]._dead += 1
 
     def __repr__(self):
-        state = "cancelled" if self.cancelled else "pending"
+        state = "spent" if self[2] is None else "pending"
         return "ScheduledEvent(t={}, {}, {})".format(
-            self.time, getattr(self.callback, "__name__", self.callback), state
+            self[0], getattr(self[2], "__name__", self[2]), state
         )
 
 
@@ -57,8 +116,10 @@ class Simulator:
         self._now = 0
         self._seq = 0
         self._heap = []
+        self._bucket = deque()  # events at time == _now (FIFO by seq)
         self._running = False
         self._event_count = 0
+        self._dead = 0  # cancelled entries still sitting in a queue
 
     @property
     def now(self):
@@ -77,7 +138,29 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError("cannot schedule into the past (delay=%r)" % (delay,))
-        return self.schedule_at(self._now + delay, callback, *args)
+        seq = self._seq + 1
+        self._seq = seq
+        if delay == 0:
+            event = ScheduledEvent((self._now, seq, callback, args, self))
+            self._bucket.append(event)
+        else:
+            event = ScheduledEvent((self._now + delay, seq, callback, args, self))
+            heapq.heappush(self._heap, event)
+            if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+                self._compact()
+        return event
+
+    def post(self, callback, *args):
+        """Schedule a non-cancellable ``callback(*args)`` at the current instant.
+
+        The wake-up fast path used by signal fires and process joins: it
+        appends a bare slot entry to the same-time bucket, skipping the
+        :class:`ScheduledEvent` wrapper since there is nothing to cancel.
+        Ordering is identical to ``schedule(0, ...)``.
+        """
+        seq = self._seq + 1
+        self._seq = seq
+        self._bucket.append([self._now, seq, callback, args])
 
     def schedule_at(self, time, callback, *args):
         """Schedule ``callback(*args)`` at absolute time ``time``."""
@@ -85,38 +168,84 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule at t=%r, now is t=%r" % (time, self._now)
             )
-        event = ScheduledEvent(time, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, event))
-        return event
+        return self.schedule(time - self._now, callback, *args)
+
+    def _compact(self):
+        """Drop cancelled entries and rebuild the heap in one pass.
+
+        Mutates the containers in place -- the run loop holds direct
+        references to them, and a compaction triggered from inside an
+        event callback must not strand those aliases.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2] is not None]
+        heapq.heapify(heap)
+        bucket = self._bucket
+        if bucket:
+            live = [entry for entry in bucket if entry[2] is not None]
+            bucket.clear()
+            bucket.extend(live)
+        self._dead = 0
+
+    def _next_entry(self):
+        """Pop the live entry with the smallest (time, seq), or None.
+
+        Bucket entries sit at the current time with seqs above every
+        same-time heap entry, so the heap wins ties.
+        """
+        heap = self._heap
+        bucket = self._bucket
+        while True:
+            if bucket:
+                if heap and heap[0] < bucket[0]:
+                    entry = heapq.heappop(heap)
+                else:
+                    entry = bucket.popleft()
+            elif heap:
+                entry = heapq.heappop(heap)
+            else:
+                return None
+            if entry[2] is None:
+                self._dead -= 1
+                continue
+            return entry
 
     def peek(self):
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap:
-            time, _seq, event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return time
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._dead -= 1
+        bucket = self._bucket
+        while bucket and bucket[0][2] is None:
+            bucket.popleft()
+            self._dead -= 1
+        if bucket and not (heap and heap[0] < bucket[0]):
+            return bucket[0][0]
+        if heap:
+            return heap[0][0]
         return None
 
     def step(self):
         """Execute the single next event.  Returns False if none remain."""
-        while self._heap:
-            time, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = time
-            self._event_count += 1
-            event.callback(*event.args)
-            return True
-        return False
+        entry = self._next_entry()
+        if entry is None:
+            return False
+        self._now = entry[0]
+        self._event_count += 1
+        callback, args = entry[2], entry[3]
+        entry[2] = None  # mark spent; late cancel() becomes a no-op
+        entry[3] = ()
+        callback(*args)
+        return True
 
     def run(self, until=None, max_events=None):
         """Run until the queue drains, ``until`` is reached, or the budget hits.
 
-        ``until`` is an absolute time: events scheduled strictly after it are
-        left in the queue and the clock is advanced to ``until``.
+        ``until`` is an absolute time: events scheduled strictly after it
+        are left in the queue and the clock is advanced to ``until`` -- also
+        when the queue drains at or before ``until``, so a bounded run
+        always ends with ``now == until`` (never earlier).
         ``max_events`` bounds the number of executed events; exceeding it
         raises :class:`SimulationError` (it is a runaway guard, not a pause).
         Returns the number of events executed by this call.
@@ -125,20 +254,52 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        # The loop below is the single hottest code in the repository:
+        # containers and the heap pop are bound to locals, and the two
+        # optional bounds become always-comparable sentinels so the
+        # common unbounded run pays no per-event None checks.  _compact()
+        # mutates heap/bucket in place, so the aliases stay valid across
+        # callbacks.
+        heap = self._heap
+        bucket = self._bucket
+        heappop = heapq.heappop
+        horizon = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         try:
             while True:
-                next_time = self.peek()
-                if next_time is None:
+                if bucket:
+                    if heap and heap[0] < bucket[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = bucket.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
                     break
-                if until is not None and next_time > until:
-                    self._now = until
+                callback = entry[2]
+                if callback is None:
+                    self._dead -= 1
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    heapq.heappush(heap, entry)
                     break
-                if max_events is not None and executed >= max_events:
+                if executed >= budget:
+                    heapq.heappush(heap, entry)
                     raise SimulationError(
                         "exceeded max_events=%d at t=%d" % (max_events, self._now)
                     )
-                self.step()
+                self._now = time
+                self._event_count += 1
                 executed += 1
+                args = entry[3]
+                entry[2] = None
+                entry[3] = ()
+                callback(*args)
+            # A bounded run always ends at `until` -- also when the queue
+            # drained early (every remaining event is strictly later).
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return executed

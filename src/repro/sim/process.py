@@ -55,9 +55,27 @@ class Signal:
     def fire(self, value=None):
         """Wake all current waiters, delivering ``value`` to each."""
         self.fire_count += 1
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        post = self.sim.post
         for process in waiters:
-            self.sim.schedule(0, process._resume, value)
+            post(process._resume, value)
+
+    def fire_one(self, value=None):
+        """Wake only the oldest waiter (FIFO hand-off).
+
+        Used by fair resources (the ticket mutex) where exactly one
+        blocked process can make progress per fire: waking the others
+        would cost one event each just to re-park.  Waiters park in
+        arrival order and never re-park spuriously, so the oldest waiter
+        is the one entitled to run.
+        """
+        self.fire_count += 1
+        waiters = self._waiters
+        if waiters:
+            self.sim.post(waiters.pop(0)._resume, value)
 
     def _add_waiter(self, process):
         self._waiters.append(process)
@@ -101,6 +119,18 @@ class Process:
     the simulator's event loop (failures must not pass silently).
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_generator",
+        "finished",
+        "result",
+        "_joiners",
+        "_waiting_on",
+        "_pending_resume",
+        "started",
+    )
+
     def __init__(self, sim, generator, name="process"):
         self.sim = sim
         self.name = name
@@ -132,6 +162,12 @@ class Process:
         except StopIteration as stop:
             self._finish(stop.value)
             return
+        # Timeout is by far the most common request (every instruction,
+        # every flit transfer): park on it inline, skipping the
+        # isinstance dispatch in _park.
+        if type(request) is Timeout:
+            self._pending_resume = self.sim.schedule(request.delay, self._resume, None)
+            return
         self._park(request)
 
     def _throw(self, exc):
@@ -158,7 +194,7 @@ class Process:
             request._add_waiter(self)
         elif isinstance(request, Process):  # join
             if request.finished:
-                self.sim.schedule(0, self._resume, request.result)
+                self.sim.post(self._resume, request.result)
             else:
                 request._joiners.append(self)
         else:
@@ -171,7 +207,7 @@ class Process:
         self.result = result
         joiners, self._joiners = self._joiners, []
         for joiner in joiners:
-            self.sim.schedule(0, joiner._resume, result)
+            self.sim.post(joiner._resume, result)
 
     # -- public operations ---------------------------------------------------
 

@@ -68,7 +68,11 @@ class Mutex:
             raise RuntimeError("release of unlocked mutex %r" % self.name)
         self._serving += 1
         self.owner = None
-        self._released.fire()
+        # Waiters park in ticket order (the ticket is taken and the wait
+        # entered within one event), so the oldest waiter is exactly the
+        # next ticket holder: hand off to it alone instead of waking the
+        # whole queue to re-park.
+        self._released.fire_one()
 
 
 class QueueClosed(Exception):

@@ -12,6 +12,7 @@ from repro.memsys import (
     MemsysParams,
 )
 from repro.cpu import Asm, Cpu, Context, Mem, PageFault, R0, R1, R2, R3, SP
+from repro.cpu.core import InstructionCounts
 from repro.cpu.assembler import AssemblyError
 from repro.cpu.isa import IsaError, Imm
 
@@ -375,6 +376,48 @@ class TestCounting:
         asm.halt()
         with pytest.raises(RuntimeError):
             run_program(sim, cpu, asm.build())
+
+    def test_reopened_region_charges_once(self):
+        # Regression: opening the same region twice used to charge every
+        # retired instruction twice to it.
+        sim, cpu, _mem, _bus = make_cpu()
+        asm = Asm()
+        asm.region_begin("send")
+        asm.region_begin("send")
+        asm.mov(R0, 1)
+        asm.mov(R1, 2)
+        asm.region_end("send")
+        asm.mov(R2, 3)  # outer open still covers this one
+        asm.region_end("send")
+        asm.halt()
+        run_program(sim, cpu, asm.build())
+        assert cpu.counts.region("send") == 3
+
+    def test_nested_same_name_regions_close_innermost_first(self):
+        # Regression: close_region used list.remove (first occurrence), so
+        # nested same-name regions paired FIFO instead of LIFO.  With the
+        # count map, each close simply decrements the open depth.
+        counts = InstructionCounts()
+        counts.open_region("s")
+        counts.on_retire()
+        counts.open_region("s")
+        counts.on_retire()
+        counts.close_region("s")  # closes the inner open
+        counts.on_retire()  # still inside the outer open: charged
+        counts.close_region("s")
+        counts.on_retire()  # fully closed: not charged
+        assert counts.region("s") == 3
+        assert counts.total == 4
+        with pytest.raises(RuntimeError):
+            counts.close_region("s")
+
+    def test_retire_outside_any_region_charges_nothing(self):
+        counts = InstructionCounts()
+        counts.open_region("r")
+        counts.close_region("r")
+        counts.on_retire()
+        assert counts.total == 1
+        assert counts.region("r") == 0
 
 
 class TestInterrupts:

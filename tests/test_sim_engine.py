@@ -159,3 +159,68 @@ def test_zero_delay_event_fires_at_current_time():
     sim.schedule(7, lambda: sim.schedule(0, lambda: times.append(sim.now)))
     sim.run()
     assert times == [7]
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    # Regression: run(until=T) on an empty queue used to leave now at 0.
+    sim = Simulator()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: the clock used to stop at the last event's time instead
+    # of advancing to `until` when the queue drained before the horizon.
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "a")
+    sim.run(until=100)
+    assert fired == ["a"]
+    assert sim.now == 100
+
+
+def test_run_until_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.schedule(80, lambda: None)
+    sim.run()
+    assert sim.now == 80
+    sim.run(until=40)  # horizon already passed: no-op, clock stays put
+    assert sim.now == 80
+
+
+def test_run_until_drain_then_resume_orders_later_events():
+    # After a drained bounded run advanced the clock, newly scheduled
+    # events must land relative to the advanced time.
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.run(until=100)
+    sim.schedule(5, fired.append, "late")
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 105
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10, fired.append, "x")
+    sim.run()
+    ev.cancel()  # event already fired; late cancel must not corrupt state
+    assert fired == ["x"]
+    assert ev.cancelled  # spent entries report as cancelled
+
+
+def test_many_cancellations_compact_without_losing_events():
+    # Stress the lazy compaction path: far more dead than live entries.
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(10_000 + i, fired.append, "dead") for i in range(2000)]
+    sim.schedule(20_001, fired.append, "live")
+    for ev in doomed:
+        ev.cancel()
+    # Scheduling after mass-cancel is what triggers compaction.
+    sim.schedule(30_000, fired.append, "tail")
+    sim.run()
+    assert fired == ["live", "tail"]
+    assert sim.now == 30_000
