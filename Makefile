@@ -1,17 +1,30 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-fast bench-simspeed
+.PHONY: test test-fast lint bench-simspeed
 
-# Tier-1 suite (everything).
-test:
+# Tier-1 suite (everything); lints first.
+test: lint
 	python -m pytest -x -q
 
 # Fast lane: skip the long property/soak tests (marked `slow`).
 test-fast:
 	python -m pytest -x -q -m "not slow"
 
+# Style/defect gate: ruff when available (config in pyproject.toml).
+# The container image may not ship ruff and installs are off-limits, so
+# fall back to a byte-compile sweep -- it still catches syntax errors
+# across every tree the real linter would cover.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not found; falling back to a compileall syntax sweep"; \
+		python -m compileall -q src tests benchmarks examples; \
+	fi
+
 # Simulator-speed microbench; refuses to record a >10% events/sec
-# regression into BENCH_simspeed.json (override with FORCE=1).
+# regression -- or >2% instrumentation-off overhead -- into
+# BENCH_simspeed.json (override with FORCE=1).
 bench-simspeed:
 	python -m benchmarks.bench_simspeed $(if $(FORCE),--force)

@@ -4,7 +4,13 @@
     python -m repro.analysis table1     # just Table 1
     python -m repro.analysis latency bandwidth
 
-Sections: table1, latency, bandwidth, breakdown, comparison.
+Sections: table1, latency, bandwidth, breakdown, comparison, metrics,
+trace-export.
+
+``metrics`` and ``trace-export`` run a small two-node machine through a
+short automatic-update workload and dump, respectively, the full metrics
+registry and the structured event trace as JSONL (one JSON object per
+line; see ``docs/observability.md`` for the schemas).
 """
 
 import sys
@@ -94,12 +100,54 @@ def show_comparison():
     print(table)
 
 
+def _instrumented_run(collect_events=False):
+    """A short automatic-update workload on a 2x1 machine; returns the hub."""
+    from repro.cpu import Asm, Context, Mem
+    from repro.machine import mapping
+    from repro.machine.system import ShrimpSystem
+    from repro.memsys.address import PAGE_SIZE
+    from repro.nic.nipt import MappingMode
+    from repro.sim.process import Process
+
+    system = ShrimpSystem(2, 1, eisa_prototype)
+    system.start()
+    hub = system.instrumentation
+    if collect_events:
+        hub.enable_events()
+    sender, receiver = system.nodes
+    mapping.establish(sender, 0x10000, receiver, 0x20000, PAGE_SIZE,
+                      MappingMode.AUTO_SINGLE)
+    asm = Asm("instrument-probe")
+    for i in range(4):
+        asm.mov(Mem(disp=0x10000 + 4 * i), i + 1)
+    asm.halt()
+    Process(
+        system.sim,
+        sender.cpu.run_to_halt(asm.build(), Context(stack_top=0x3F000)),
+        "instrument-probe",
+    ).start()
+    system.run()
+    return hub
+
+
+def show_metrics():
+    for line in _instrumented_run().metrics_jsonl():
+        print(line)
+
+
+def show_trace_export():
+    for line in _instrumented_run(collect_events=True).events_jsonl():
+        print(line)
+
+
 SECTIONS = {
     "table1": show_table1,
     "latency": show_latency,
     "bandwidth": show_bandwidth,
     "breakdown": show_breakdown,
     "comparison": show_comparison,
+    "metrics": show_metrics,
+    "trace-export": show_trace_export,
 }
 
 
@@ -107,6 +155,7 @@ def main(argv):
     requested = argv or list(SECTIONS)
     unknown = [name for name in requested if name not in SECTIONS]
     if unknown:
+        print("usage: python -m repro.analysis [section ...]")
         print("unknown section(s): %s" % ", ".join(unknown))
         print("available: %s" % ", ".join(SECTIONS))
         return 2

@@ -47,12 +47,18 @@ def measure_deliberate_bandwidth(nbytes, params_factory=eisa_prototype):
     sender.mmu.set_policy(page_number(L.PRIV), CachePolicy.WRITE_THROUGH)
     sender.memory.write_words(BUF_SRC, [0xA5A5A5A5] * (nbytes // 4))
 
+    # The last word landing in destination memory shows up as a
+    # ``bus.write`` event on the receiver's memory bus.
     times = {}
     last_byte_addr = BUF_DST + nbytes - 4
-    receiver.bus.add_snooper(
-        lambda t: times.__setitem__("end", t.time)
-        if t.kind == "write" and t.end_addr() > last_byte_addr else None
-    )
+
+    def on_write(event):
+        if event.source != receiver.bus.name:
+            return
+        if event.fields["addr"] + 4 * event.fields["words"] > last_byte_addr:
+            times["end"] = event.time
+
+    system.instrumentation.subscribe(on_write, kinds=("bus.write",))
 
     asm = deliberate.sender_program(system, sender, nbytes, buf_addr=BUF_SRC)
     start = system.sim.now

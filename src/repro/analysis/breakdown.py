@@ -35,17 +35,23 @@ def measure_latency_breakdown(params_factory=eisa_prototype, width=4,
     mapping.establish(sender, SRC, receiver, DST, PAGE_SIZE,
                       MappingMode.AUTO_SINGLE)
 
+    # All stage marks come off the instrumentation event bus: the store on
+    # the source bus as a ``bus.write`` event, the datapath stages as the
+    # ``nic.*`` stage events the two NICs emit.
     marks = {}
-    sender.bus.add_snooper(
-        lambda t: marks.setdefault("store", t.time)
-        if t.kind == "write" and t.addr == SRC else None
-    )
+    hub = system.instrumentation
 
-    def hook(stage, packet, now):
-        marks.setdefault(stage, now)
+    def on_event(event):
+        if event.kind == "bus.write":
+            if event.source == sender.bus.name and event.fields["addr"] == SRC:
+                marks.setdefault("store", event.time)
+            return
+        marks.setdefault(event.kind.split(".", 1)[1], event.time)
 
-    sender.nic.stage_hook = hook
-    receiver.nic.stage_hook = hook
+    hub.subscribe(on_event, kinds=(
+        "bus.write", "nic.packetized", "nic.injected", "nic.accepted",
+        "nic.delivered",
+    ))
 
     asm = Asm("breakdown-probe")
     asm.mov(Mem(disp=SRC), 0xF00D)

@@ -15,6 +15,7 @@ test can assert exact drop accounting.
 """
 
 from repro.mesh.packet import Packet
+from repro.sim.instrument import Instrumentation
 
 
 class _FifoTap:
@@ -95,8 +96,9 @@ def run_corruption_experiment(system, sender, receiver, every_nth,
         for i in range(store_count)
         if receiver.memory.read_word(dst + 4 * i) == i + 1
     )
+    hub = Instrumentation.of(system.sim)
     return (
-        receiver.nic.packets_delivered.value,
-        receiver.nic.crc_drops.value,
+        hub.value(receiver.nic.name + ".delivered"),
+        hub.value(receiver.nic.name + ".crc_drops"),
         intact,
     )

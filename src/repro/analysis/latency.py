@@ -30,15 +30,18 @@ def measure_store_latency(params_factory=eisa_prototype, width=4, height=4,
     receiver = system.nodes[dest_node]
     mapping.establish(sender, SRC, receiver, DST, PAGE_SIZE,
                       MappingMode.AUTO_SINGLE)
+    # Both endpoints of the latency definition are observed as ``bus.write``
+    # events on the instrumentation bus: the CPU's store on the sender's
+    # memory bus, the NIC's deposit on the receiver's.
     times = {}
-    sender.bus.add_snooper(
-        lambda t: times.setdefault("store", t.time)
-        if t.kind == "write" and t.addr == SRC else None
-    )
-    receiver.bus.add_snooper(
-        lambda t: times.setdefault("arrive", t.time)
-        if t.kind == "write" and t.addr == DST else None
-    )
+
+    def on_write(event):
+        if event.source == sender.bus.name and event.fields["addr"] == SRC:
+            times.setdefault("store", event.time)
+        elif event.source == receiver.bus.name and event.fields["addr"] == DST:
+            times.setdefault("arrive", event.time)
+
+    system.instrumentation.subscribe(on_write, kinds=("bus.write",))
     asm = Asm("latency-probe")
     asm.mov(Mem(disp=SRC), 0xBEEF)
     asm.halt()

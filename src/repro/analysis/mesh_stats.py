@@ -1,22 +1,26 @@
 """Mesh utilization statistics and text heatmaps.
 
-Routers already count packets and flits; this module aggregates them into
-per-router views of where traffic concentrated -- useful for contention
-experiments and for eyeballing dimension-ordered routing's hot rows.
+Routers register their packet and flit counters with the simulator's
+instrumentation hub; this module aggregates them -- resolving every metric
+by registry name, never by component attribute -- into per-router views of
+where traffic concentrated.  Useful for contention experiments and for
+eyeballing dimension-ordered routing's hot rows.
 """
 
 
 def router_packet_counts(backplane):
     """{(x, y): packets routed} for every router."""
+    hub = backplane.instr
     return {
-        coords: router.packets_routed.value
+        coords: hub.value(router.name + ".packets")
         for coords, router in backplane.routers.items()
     }
 
 
 def router_flit_counts(backplane):
+    hub = backplane.instr
     return {
-        coords: router.flits_forwarded.value
+        coords: hub.value(router.name + ".flits")
         for coords, router in backplane.routers.items()
     }
 

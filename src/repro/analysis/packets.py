@@ -1,38 +1,44 @@
 """Per-packet latency statistics.
 
-A :class:`PacketStats` collector attaches to NIC stage hooks across a
-system and records, for every delivered packet, the time from
-packetization to deposit.  Used by the contention benchmark (latency
-under background load) and available for any experiment that needs a
-distribution rather than a single probe.
+A :class:`PacketStats` collector subscribes to the machine's
+instrumentation event bus and records, for every delivered packet, the
+time from packetization to deposit (the ``nic.packetized`` and
+``nic.delivered`` event kinds).  Used by the contention benchmark
+(latency under background load) and available for any experiment that
+needs a distribution rather than a single probe.
 """
 
 import math
 
+from repro.sim.instrument import Instrumentation
+
 
 class PacketStats:
-    """Collects per-packet datapath latencies across a set of nodes."""
+    """Collects per-packet datapath latencies across a whole machine."""
 
     def __init__(self, system):
         self.system = system
         self._start_ns = {}  # id(packet) -> packetized timestamp
         self.latencies_ns = []
-        for node in system.nodes:
-            previous = node.nic.stage_hook
-            node.nic.stage_hook = self._make_hook(previous)
+        self._hub = Instrumentation.of(system.sim)
+        self._hub.subscribe(
+            self._on_event, kinds=("nic.packetized", "nic.delivered")
+        )
 
-    def _make_hook(self, previous):
-        def hook(stage, packet, now):
-            if previous is not None:
-                previous(stage, packet, now)
-            if stage == "packetized":
-                self._start_ns[id(packet)] = now
-            elif stage == "delivered":
-                start = self._start_ns.pop(id(packet), None)
-                if start is not None:
-                    self.latencies_ns.append(now - start)
+    def _on_event(self, event):
+        packet = event.fields.get("packet")
+        if packet is None:
+            return
+        if event.kind == "nic.packetized":
+            self._start_ns[id(packet)] = event.time
+        else:
+            start = self._start_ns.pop(id(packet), None)
+            if start is not None:
+                self.latencies_ns.append(event.time - start)
 
-        return hook
+    def detach(self):
+        """Stop collecting (the subscription is removed from the bus)."""
+        self._hub.unsubscribe(self._on_event)
 
     # -- statistics ------------------------------------------------------------
 

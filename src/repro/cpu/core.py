@@ -20,6 +20,7 @@ faults (section 4.4).
 
 from repro.cpu.isa import Reg, WORD_MASK, _NO_YIELDS
 from repro.memsys.cache import CachePolicy
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
 
 
@@ -172,6 +173,12 @@ class Cpu:
         self.fault_handler = None  # set by the kernel
         self._preempt = False
         self._timeouts = {}  # cycles -> reusable Timeout (immutable requests)
+        self.instr = Instrumentation.of(sim)
+        self.interrupts_taken = self.instr.counter(name + ".interrupts")
+        # The per-instruction retire path must stay counter-free; expose
+        # the retired totals as probes evaluated at snapshot time instead.
+        self.instr.probe(name + ".instructions", lambda: self.counts.total)
+        self.instr.probe(name + ".cycles", lambda: self.cycles_retired)
 
     # -- register / flag access (used by instruction classes) -----------------
 
@@ -266,6 +273,10 @@ class Cpu:
                 raise RuntimeError(
                     "%s: interrupt %r has no registered handler" % (self.name, cause)
                 )
+            self.interrupts_taken.bump()
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.name, "cpu.interrupt", cause=cause)
             yield from handler_factory()
 
     # -- syscalls ----------------------------------------------------------------------
@@ -273,6 +284,9 @@ class Cpu:
     def trap_syscall(self, number):
         if self.syscall_handler is None:
             raise RuntimeError("%s: syscall %r with no kernel" % (self.name, number))
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.name, "cpu.syscall", number=number)
         yield from self.syscall_handler(self, number)
 
     # -- execution --------------------------------------------------------------------

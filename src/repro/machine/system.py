@@ -4,6 +4,7 @@ from repro.machine.config import eisa_prototype
 from repro.machine.node import ShrimpNode
 from repro.mesh.backplane import Backplane
 from repro.sim.engine import Simulator
+from repro.sim.instrument import Instrumentation
 
 
 class ShrimpSystem:
@@ -20,6 +21,9 @@ class ShrimpSystem:
 
     def __init__(self, width, height, params_factory=eisa_prototype, sim=None):
         self.sim = sim or Simulator()
+        # The machine-wide instrumentation hub (metrics registry + event
+        # bus); every component below registers with this same instance.
+        self.instrumentation = Instrumentation.of(self.sim)
         self.params = params_factory()
         self.backplane = Backplane(self.sim, self.params.mesh, width, height)
         self.nodes = [

@@ -11,9 +11,9 @@ device has handled it; the NIC's automatic-update mechanism and the caches'
 DMA-invalidation are both snoopers.
 """
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
 from repro.sim.resources import Mutex
-from repro.sim.trace import Counter
 
 
 class BusError(Exception):
@@ -90,9 +90,11 @@ class XpressBus:
         self._mutex = Mutex(sim, name + ".arb")
         self._ranges = []  # (lo, hi, device)
         self._snoopers = []
-        self.transactions = Counter(name + ".transactions")
-        self.words_moved = Counter(name + ".words")
+        self.instr = Instrumentation.of(sim)
+        self.transactions = self.instr.counter(name + ".transactions")
+        self.words_moved = self.instr.counter(name + ".words")
         self.busy_ns = 0
+        self.instr.probe(name + ".busy_ns", lambda: self.busy_ns)
 
     def attach(self, lo, hi, device):
         """Claim [lo, hi) for ``device``.  Ranges must not overlap."""
@@ -131,6 +133,16 @@ class XpressBus:
 
     def _notify(self, txn):
         txn.time = self.sim.now
+        hub = self.instr
+        if hub.active:
+            hub.emit(
+                self.name,
+                "bus." + txn.kind,
+                addr=txn.addr,
+                words=txn.nwords,
+                originator=txn.originator,
+                locked=txn.locked,
+            )
         for snooper in self._snoopers:
             snooper(txn)
 

@@ -11,8 +11,8 @@ with *all* main memory updates."  That property is what lets SHRIMP deposit
 incoming network data straight into DRAM with no CPU involvement.
 """
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
-from repro.sim.trace import Counter
 
 
 class CachePolicy:
@@ -64,10 +64,13 @@ class Cache:
             for _ in range(self.n_sets)
         ]
         self._lru_clock = 0
-        self.hits = Counter(name + ".hits")
-        self.misses = Counter(name + ".misses")
-        self.writebacks = Counter(name + ".writebacks")
-        self.snoop_invalidations = Counter(name + ".snoop_invalidations")
+        self.instr = Instrumentation.of(sim)
+        self.hits = self.instr.counter(name + ".hits")
+        self.misses = self.instr.counter(name + ".misses")
+        self.writebacks = self.instr.counter(name + ".writebacks")
+        self.snoop_invalidations = self.instr.counter(
+            name + ".snoop_invalidations"
+        )
         # Timeout requests are immutable, so every hit can yield this one
         # instance instead of allocating a fresh object per access.
         self.hit_timeout = Timeout(params.cache_hit_ns)
@@ -115,6 +118,10 @@ class Cache:
             )
             yield from self.bus.write(victim_base, list(victim.data), self.name)
             self.writebacks.bump()
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.name, "cache.writeback", addr=victim_base,
+                         words=self.words_per_line)
         line_base = self._line_base(addr)
         data = yield from self.bus.read(line_base, self.words_per_line, self.name)
         victim.tag = tag
@@ -221,6 +228,10 @@ class Cache:
                 line.valid = False
                 line.dirty = False
                 self.snoop_invalidations.bump()
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "cache.snoop_invalidate",
+                             addr=line_base, originator=txn.originator)
 
     # -- introspection ------------------------------------------------------------
 

@@ -11,9 +11,9 @@ into DRAM through the memory bus (where the CPU caches snoop-invalidate
 them, keeping the caches consistent).
 """
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
 from repro.sim.resources import Mutex
-from repro.sim.trace import Counter
 
 
 class EisaBus:
@@ -25,9 +25,11 @@ class EisaBus:
         self.params = params
         self.name = name
         self._mutex = Mutex(sim, name + ".channel")
-        self.bursts = Counter(name + ".bursts")
-        self.words_moved = Counter(name + ".words")
+        self.instr = Instrumentation.of(sim)
+        self.bursts = self.instr.counter(name + ".bursts")
+        self.words_moved = self.instr.counter(name + ".words")
         self.busy_ns = 0
+        self.instr.probe(name + ".busy_ns", lambda: self.busy_ns)
 
     def dma_write(self, addr, words):
         """Generator: burst-write ``words`` to DRAM at ``addr``.
@@ -52,3 +54,6 @@ class EisaBus:
             self._mutex.release()
         self.bursts.bump()
         self.words_moved.bump(len(words))
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.name, "eisa.burst", addr=addr, words=len(words))

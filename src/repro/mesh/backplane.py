@@ -2,9 +2,9 @@
 
 from repro.mesh.link import Link
 from repro.mesh.router import Router, NORTH, SOUTH, EAST, WEST, LOCAL
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
 from repro.sim.resources import Mutex
-from repro.sim.trace import Counter
 
 
 class Backplane:
@@ -27,7 +27,8 @@ class Backplane:
         self._injection = {}  # node_id -> Link (NIC -> router)
         self._ejection = {}  # node_id -> Link (router -> NIC)
         self._injection_locks = {}  # one injector at a time per port
-        self.packets_delivered = Counter(name + ".delivered")
+        self.instr = Instrumentation.of(sim)
+        self.packets_delivered = self.instr.counter(name + ".delivered")
         self._build()
         self._started = False
 
@@ -167,4 +168,8 @@ class Backplane:
                 yield Timeout(wait)
             flit = last
         self.packets_delivered.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.name, "mesh.eject", node=node_id,
+                     words=len(packet.payload))
         return packet

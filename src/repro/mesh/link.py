@@ -43,8 +43,8 @@ makes the stamp and free-time bookkeeping race-free.
 
 from collections import deque
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Signal, Timeout, Wait
-from repro.sim.trace import Counter
 
 
 class Link:
@@ -63,7 +63,7 @@ class Link:
         # allocating a fresh one for every park on the hot path.
         self._wait_not_full = Wait(self._not_full)
         self._wait_not_empty = Wait(self._not_empty)
-        self.flits_moved = Counter(name + ".flits")
+        self.flits_moved = Instrumentation.of(sim).counter(name + ".flits")
 
     # -- occupancy accounting --------------------------------------------------
 

@@ -13,9 +13,9 @@ by that packet until its tail flit passes; the worm advances flit by flit
 and stalls in place (holding buffers and the output) under backpressure.
 """
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Timeout
 from repro.sim.resources import Mutex
-from repro.sim.trace import Counter
 
 
 class RoutingError(Exception):
@@ -46,8 +46,9 @@ class Router:
         self.inputs = {}  # port -> Link (filled by the backplane)
         self.outputs = {port: _OutputPort(sim, "%s.%s" % (self.name, port))
                         for port in PORTS}
-        self.packets_routed = Counter(self.name + ".packets")
-        self.flits_forwarded = Counter(self.name + ".flits")
+        self.instr = Instrumentation.of(sim)
+        self.packets_routed = self.instr.counter(self.name + ".packets")
+        self.flits_forwarded = self.instr.counter(self.name + ".flits")
         self._started = False
 
     # -- wiring (used by the backplane) ---------------------------------------
@@ -124,6 +125,16 @@ class Router:
             finally:
                 output.mutex.release()
             self.packets_routed.bump()
+            hub = self.instr
+            if hub.active:
+                packet = flit.packet
+                hub.emit(
+                    self.name,
+                    "mesh.route",
+                    port=out_name,
+                    src=list(packet.src_coords),
+                    dest=list(packet.dest_coords),
+                )
 
     def _forward_worm(self, head, in_link, out_link):
         """Generator: forward a worm (head flit in hand) through to its tail.

@@ -25,8 +25,8 @@ the same Paragon-style backplane with plain DMA packets.
 from dataclasses import dataclass
 
 from repro.mesh.packet import Packet
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Signal, Timeout, Wait
-from repro.sim.trace import Counter
 
 
 @dataclass
@@ -53,10 +53,15 @@ class BaselineNic:
         # System receive buffering: FIFO of (type, words) per message type.
         self._queues = {}
         self._arrival = Signal(self.sim, node.name + ".baseline.arrival")
-        self.instructions_charged = Counter(node.name + ".baseline.instr")
-        self.interrupts_taken = Counter(node.name + ".baseline.intr")
-        self.messages_sent = Counter(node.name + ".baseline.sent")
-        self.messages_received = Counter(node.name + ".baseline.recv")
+        self.instr = Instrumentation.of(self.sim)
+        self.instructions_charged = self.instr.counter(
+            node.name + ".baseline.instr"
+        )
+        self.interrupts_taken = self.instr.counter(node.name + ".baseline.intr")
+        self.messages_sent = self.instr.counter(node.name + ".baseline.sent")
+        self.messages_received = self.instr.counter(
+            node.name + ".baseline.recv"
+        )
         self._started = False
 
     def start(self):

@@ -21,8 +21,8 @@ counting them.
 from repro.memsys.address import PAGE_SIZE, page_number, page_offset
 from repro.mesh.packet import Packet
 from repro.nic.nipt import MappingMode
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Signal, Timeout, Wait
-from repro.sim.trace import Counter
 
 
 class DmaEngine:
@@ -35,10 +35,11 @@ class DmaEngine:
         self.base_addr = 0
         self.remaining_words = 0
         self.idle_signal = Signal(sim, nic.name + ".dma.idle")
-        self.transfers = Counter(nic.name + ".dma.transfers")
-        self.words_sent = Counter(nic.name + ".dma.words")
-        self.rejected_commands = Counter(nic.name + ".dma.rejected")
-        self.busy_rejections = Counter(nic.name + ".dma.busy")
+        self.instr = Instrumentation.of(sim)
+        self.transfers = self.instr.counter(nic.name + ".dma.transfers")
+        self.words_sent = self.instr.counter(nic.name + ".dma.words")
+        self.rejected_commands = self.instr.counter(nic.name + ".dma.rejected")
+        self.busy_rejections = self.instr.counter(nic.name + ".dma.busy")
 
     # -- command-page interface ------------------------------------------------
 
@@ -58,14 +59,25 @@ class DmaEngine:
             # engine ignores it.  (With the locked protocol this cannot
             # happen; plain stores can trigger it and are dropped safely.)
             self.busy_rejections.bump()
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.nic.name, "dma.reject", reason="busy",
+                         addr=base_addr, words=nwords)
             return False
         half = self._validate(base_addr, nwords)
         if half is None:
             self.rejected_commands.bump()
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.nic.name, "dma.reject", reason="invalid",
+                         addr=base_addr, words=nwords)
             return False
         self.busy = True
         self.base_addr = base_addr
         self.remaining_words = nwords
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.nic.name, "dma.arm", addr=base_addr, words=nwords)
         Process(
             self.sim,
             self._transfer(base_addr, nwords, half),
@@ -130,6 +142,9 @@ class DmaEngine:
             self.words_sent.bump(burst)
         self.busy = False
         self.transfers.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.nic.name, "dma.done", addr=base_addr, words=nwords)
         self.idle_signal.fire()
 
     def wait_idle(self):

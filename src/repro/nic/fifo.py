@@ -18,8 +18,8 @@ cannot overflow".
 
 from collections import deque
 
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Signal, Wait
-from repro.sim.trace import Counter, TimeSeries
 
 
 class FifoOverflow(Exception):
@@ -41,11 +41,12 @@ class PacketFifo:
         self._changed = Signal(sim, name + ".changed")
         self.threshold_callback = None  # called once per upward crossing
         self._threshold_armed = True
-        self.puts = Counter(name + ".puts")
-        self.gets = Counter(name + ".gets")
+        self.instr = Instrumentation.of(sim)
+        self.puts = self.instr.counter(name + ".puts")
+        self.gets = self.instr.counter(name + ".gets")
         self.max_occupancy_bytes = 0
-        self.occupancy_series = TimeSeries(name + ".occupancy")
-        self.threshold_crossings = Counter(name + ".crossings")
+        self.occupancy_series = self.instr.timeseries(name + ".occupancy")
+        self.threshold_crossings = self.instr.counter(name + ".crossings")
 
     def __len__(self):
         return len(self._packets)
@@ -57,7 +58,10 @@ class PacketFifo:
     def _record(self):
         if self.occupancy_bytes > self.max_occupancy_bytes:
             self.max_occupancy_bytes = self.occupancy_bytes
-        self.occupancy_series.record(self.sim.now, self.occupancy_bytes)
+        # The per-operation occupancy series is only sampled while the hub
+        # is observing; the high-water mark above is always maintained.
+        if self.instr.active:
+            self.occupancy_series.record(self.sim.now, self.occupancy_bytes)
 
     # -- producers ------------------------------------------------------------
 
@@ -80,6 +84,11 @@ class PacketFifo:
         if self.above_threshold and self._threshold_armed:
             self._threshold_armed = False
             self.threshold_crossings.bump()
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.name, "nic.fifo_threshold",
+                         occupancy=self.occupancy_bytes,
+                         threshold=self.threshold_bytes)
             if self.threshold_callback is not None:
                 self.threshold_callback()
         self._changed.fire()

@@ -26,9 +26,9 @@ from repro.nic.command import CommandOp, decode_command
 from repro.nic.dma import DmaEngine
 from repro.nic.fifo import PacketFifo
 from repro.nic.nipt import Nipt, MappingMode
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Signal, Timeout
 from repro.sim.resources import BoundedQueue
-from repro.sim.trace import Counter
 
 
 class NicError(Exception):
@@ -115,15 +115,18 @@ class NetworkInterface:
         # is called at "packetized", "injected", "accepted", "delivered".
         self.stage_hook = None
 
-        # Statistics.
-        self.packets_packetized = Counter(self.name + ".packetized")
-        self.packets_injected = Counter(self.name + ".injected")
-        self.packets_delivered = Counter(self.name + ".delivered")
-        self.words_delivered = Counter(self.name + ".words_delivered")
-        self.crc_drops = Counter(self.name + ".crc_drops")
-        self.unmapped_drops = Counter(self.name + ".unmapped_drops")
-        self.arrival_interrupts = Counter(self.name + ".arrival_interrupts")
-        self.merged_writes = Counter(self.name + ".merged_writes")
+        # Statistics, registered with the per-simulator instrumentation hub.
+        self.instr = Instrumentation.of(sim)
+        self.packets_packetized = self.instr.counter(self.name + ".packetized")
+        self.packets_injected = self.instr.counter(self.name + ".injected")
+        self.packets_delivered = self.instr.counter(self.name + ".delivered")
+        self.words_delivered = self.instr.counter(self.name + ".words_delivered")
+        self.crc_drops = self.instr.counter(self.name + ".crc_drops")
+        self.unmapped_drops = self.instr.counter(self.name + ".unmapped_drops")
+        self.arrival_interrupts = self.instr.counter(
+            self.name + ".arrival_interrupts"
+        )
+        self.merged_writes = self.instr.counter(self.name + ".merged_writes")
 
         # Wire into the node.
         bus.add_snooper(self._snoop)
@@ -318,13 +321,27 @@ class NetworkInterface:
                 packet.verify(self.coords)
             except PacketError:
                 self.crc_drops.bump()
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "nic.crc_drop",
+                             dest_addr=packet.dest_addr,
+                             words=len(packet.payload))
                 continue
             if packet.kind == Packet.KERNEL:
                 self.kernel_inbox.try_put(packet)
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "nic.kernel_msg",
+                             words=len(packet.payload))
                 self._post_cpu_interrupt("kernel-message")
                 continue
             if not self._deposit_allowed(packet):
                 self.unmapped_drops.bump()
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "nic.unmapped_drop",
+                             dest_addr=packet.dest_addr,
+                             words=len(packet.payload))
                 continue
             yield from self._deposit(packet)
             self.packets_delivered.bump()
@@ -334,6 +351,10 @@ class NetworkInterface:
             if entry.interrupt_on_arrival:
                 entry.interrupt_on_arrival = False
                 self.arrival_interrupts.bump()
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "nic.arrival_interrupt",
+                             page=page_number(packet.dest_addr))
                 self._post_cpu_interrupt("network-arrival")
             self.arrival_signal.fire(packet)
 
@@ -360,6 +381,10 @@ class NetworkInterface:
     def _stage(self, stage, packet):
         if self.stage_hook is not None:
             self.stage_hook(stage, packet, self.sim.now)
+        hub = self.instr
+        if hub.active:
+            hub.emit(self.name, "nic." + stage, packet=packet,
+                     dest_addr=packet.dest_addr, words=len(packet.payload))
 
     def _post_cpu_interrupt(self, cause):
         if self.cpu is not None and cause in self.cpu._interrupt_handlers:

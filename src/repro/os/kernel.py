@@ -28,6 +28,7 @@ from repro.os.process import OsProcess, ProcessState
 from repro.os.syscalls import Errno, MapArgs, Syscall, SyscallError
 from repro.os.vm import plan_mapping
 from repro.cpu.isa import R0, R1
+from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Signal, Timeout, Wait
 from repro.sim.resources import QueueClosed
 
@@ -111,6 +112,17 @@ class Kernel:
         self._pending_rpcs = {}  # seq -> [Signal, reply words or None]
         self._swap = {}  # (address-space id, vpage) -> page bytes
         self.kernel_instructions = 0
+        self.instr = Instrumentation.of(self.sim)
+        prefix = node.name + ".kernel"
+        self._metric_prefix = prefix
+        self.syscalls = self.instr.counter(prefix + ".syscalls")
+        self.faults_handled = self.instr.counter(prefix + ".faults")
+        self.rpcs_sent = self.instr.counter(prefix + ".rpcs")
+        self.pages_evicted = self.instr.counter(prefix + ".evictions")
+        self.pages_paged_in = self.instr.counter(prefix + ".page_ins")
+        self.instr.probe(
+            prefix + ".instructions", lambda: self.kernel_instructions
+        )
         node.cpu.syscall_handler = self._syscall_handler
         node.cpu.fault_handler = self._fault_handler
         self._started = False
@@ -219,6 +231,10 @@ class Kernel:
     # -- syscall dispatch -----------------------------------------------------------------------
 
     def _syscall_handler(self, cpu, number):
+        self.syscalls.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self._metric_prefix, "os.syscall", number=number)
         yield from self._charge(self.params.trap_instructions)
         process = self.current_process
         if process is None:
@@ -417,6 +433,11 @@ class Kernel:
         seq = self._rpc_seq
         words = list(words)
         words[1] = seq
+        self.rpcs_sent.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self._metric_prefix, "os.rpc",
+                     dest=dest_node, msg_type=words[0], seq=seq)
         pending = [Signal(self.sim, "rpc%d" % seq), None]
         self._pending_rpcs[seq] = pending
         yield from self.node.nic.send_kernel_message(dest_node, words)
@@ -603,6 +624,11 @@ class Kernel:
         )
         self.free_page(pte.ppage)
         pte.present = False
+        self.pages_evicted.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self._metric_prefix, "os.evict",
+                     vpage=vpage, pid=process.pid)
 
     def reclaim(self, count):
         """Generator: evict up to ``count`` pages to relieve memory
@@ -645,10 +671,20 @@ class Kernel:
             for src_vpage, half in record.halves:
                 if src_vpage == vpage:
                     self.node.nic.nipt.map_out(pte.ppage, half)
+        self.pages_paged_in.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self._metric_prefix, "os.page_in",
+                     vpage=vpage, ppage=pte.ppage, pid=process.pid)
 
     # -- fault handling --------------------------------------------------------------------------------------------------------
 
     def _fault_handler(self, cpu, fault):
+        self.faults_handled.bump()
+        hub = self.instr
+        if hub.active:
+            hub.emit(self._metric_prefix, "os.fault",
+                     vaddr=fault.vaddr, reason=fault.reason)
         yield from self._charge(self.params.fault_instructions)
         process = self.current_process
         if process is None:

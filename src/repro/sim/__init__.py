@@ -13,17 +13,25 @@ on.  It provides:
   the primitives.
 - :mod:`~repro.sim.trace` -- lightweight event tracing and counters used by
   the measurement harness.
+- :mod:`~repro.sim.instrument` -- the per-simulator instrumentation hub:
+  a namespaced metrics registry plus a structured event bus that every
+  hardware layer registers with (see ``docs/observability.md``).
 
 All timestamps are integers in nanoseconds.  Using integers keeps the
 simulation exactly reproducible (no floating-point drift in event ordering).
 """
 
 from repro.sim.engine import Simulator, SimulationError, ScheduledEvent
+from repro.sim.instrument import Event, Histogram, Instrumentation, MetricError
 from repro.sim.process import Process, Signal, Timeout, Wait, Interrupt
 from repro.sim.resources import Mutex, BoundedQueue, QueueClosed
 from repro.sim.trace import Tracer, Counter, TimeSeries
 
 __all__ = [
+    "Instrumentation",
+    "MetricError",
+    "Event",
+    "Histogram",
     "Simulator",
     "SimulationError",
     "ScheduledEvent",

@@ -1,0 +1,364 @@
+"""The unified instrumentation hub: metrics registry + structured event bus.
+
+Every :class:`~repro.sim.engine.Simulator` owns (lazily) one
+:class:`Instrumentation` hub.  Hardware models register their metrics with
+the hub at construction time instead of hand-rolling free-floating
+counters, and emit *typed* events through it instead of ad-hoc callbacks:
+
+- **Metrics registry** -- namespaced counters
+  (:class:`~repro.sim.trace.Counter`), time series
+  (:class:`~repro.sim.trace.TimeSeries`), latency histograms
+  (:class:`Histogram`) and *probes* (zero-cost derived metrics computed at
+  snapshot time).  Registration returns the metric object, so components
+  keep a direct attribute handle for their hot paths -- bumping a counter
+  is exactly as cheap as before -- while analysis code resolves the same
+  metric by name, decoupled from component attribute layouts.
+
+- **Event bus** -- records with the stable schema ``(time, source, kind,
+  fields)`` where ``fields`` is a flat dict of named values (replacing the
+  stringly ``TraceRecord.detail``).  Consumers either *collect* records
+  (with optional kind filter and limit) or *subscribe* live callbacks.
+  Emission is strictly zero-cost when off: producers guard every emit with
+  a single attribute check (``if hub.active: hub.emit(...)``), and
+  ``active`` only becomes true once someone enables collection or
+  subscribes.  Emitting never touches the event queue, so simulated
+  timing is bit-for-bit identical with instrumentation on and off.
+
+Metric namespace convention (see ``docs/observability.md``): metric names
+are dot-joined paths rooted at the owning component's instance name, e.g.
+``node3.nic.delivered``, ``node3.cache.hits``, ``router(1,2).packets``,
+``link(0,0)->(1,0).flits``.  Event kinds are ``<layer>.<what>``:
+``nic.delivered``, ``bus.write``, ``os.rpc_send``, ``cpu.interrupt``.
+"""
+
+import json
+
+from repro.sim.trace import Counter, TimeSeries
+
+
+class MetricError(Exception):
+    """Raised for registry misuse (kind clash on an existing name)."""
+
+
+class Histogram:
+    """A power-of-two-bucketed value histogram (latencies, sizes).
+
+    ``observe(v)`` files ``v`` into the bucket ``[2**(k-1), 2**k)`` and
+    tracks count/sum/min/max, so a long run costs O(log max) memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._buckets = {}
+
+    def observe(self, value):
+        if value < 0:
+            raise ValueError("%s: negative observation %r" % (self.name, value))
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = int(value).bit_length()
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def buckets(self):
+        """Sorted ``(lower_bound, count)`` pairs for occupied buckets."""
+        return [
+            (0 if index == 0 else 1 << (index - 1), self._buckets[index])
+            for index in sorted(self._buckets)
+        ]
+
+    def reset(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._buckets = {}
+
+    def __repr__(self):
+        return "Histogram(%s: n=%d, mean=%s)" % (self.name, self.count,
+                                                 self.mean())
+
+
+class Event:
+    """One structured instrumentation event."""
+
+    __slots__ = ("time", "source", "kind", "fields")
+
+    def __init__(self, time, source, kind, fields):
+        self.time = time
+        self.source = source
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self):
+        """A JSON-safe dict with the stable record schema."""
+        return {
+            "time": self.time,
+            "source": self.source,
+            "kind": self.kind,
+            "fields": {key: _jsonable(value)
+                       for key, value in self.fields.items()},
+        }
+
+    def __repr__(self):
+        return "[{:>10d}ns] {:<20s} {:<18s} {}".format(
+            self.time, self.source, self.kind, self.fields
+        )
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+_COUNTER = "counter"
+_TIMESERIES = "timeseries"
+_HISTOGRAM = "histogram"
+_PROBE = "probe"
+
+
+class Instrumentation:
+    """Per-simulator metrics registry and event bus.
+
+    Obtain the hub for a simulator with :meth:`Instrumentation.of` -- the
+    instance is created on first use and cached on the simulator, so every
+    component of a machine shares one hub.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        # True iff at least one event consumer exists.  Producers guard
+        # emission with this single attribute check; it is the whole cost
+        # of the event bus when instrumentation is off.
+        self.active = False
+        self._metrics = {}  # name -> (kind, metric object or probe callable)
+        self._collecting = False
+        self._only_kinds = None
+        self._limit = None
+        self._records = []
+        self._by_kind = {}  # kind -> [Event], same objects as _records
+        self.dropped = 0
+        self._subscribers = []  # (kinds or None, callback)
+
+    @classmethod
+    def of(cls, sim):
+        """The simulator's hub, created on first use."""
+        hub = getattr(sim, "instrumentation", None)
+        if hub is None:
+            hub = cls(sim)
+            sim.instrumentation = hub
+        return hub
+
+    # -- metric registration ---------------------------------------------------
+
+    def _register(self, name, kind, factory):
+        entry = self._metrics.get(name)
+        if entry is not None:
+            if entry[0] != kind:
+                raise MetricError(
+                    "metric %r already registered as %s, not %s"
+                    % (name, entry[0], kind)
+                )
+            return entry[1]
+        metric = factory(name)
+        self._metrics[name] = (kind, metric)
+        return metric
+
+    def counter(self, name):
+        """Register (or fetch) the named monotonic counter."""
+        return self._register(name, _COUNTER, Counter)
+
+    def timeseries(self, name):
+        """Register (or fetch) the named (time, value) series."""
+        return self._register(name, _TIMESERIES, TimeSeries)
+
+    def histogram(self, name):
+        """Register (or fetch) the named histogram."""
+        return self._register(name, _HISTOGRAM, Histogram)
+
+    def probe(self, name, fn):
+        """Register a derived metric: ``fn()`` is evaluated at query time.
+
+        Probes cost nothing on any hot path -- they expose values a
+        component already maintains (instruction totals, busy time)
+        without mirroring them into a second counter.  Re-registering a
+        probe name rebinds it (a rebuilt component replaces its probes).
+        """
+        entry = self._metrics.get(name)
+        if entry is not None and entry[0] != _PROBE:
+            raise MetricError(
+                "metric %r already registered as %s, not probe"
+                % (name, entry[0])
+            )
+        self._metrics[name] = (_PROBE, fn)
+        return fn
+
+    # -- metric queries ----------------------------------------------------------
+
+    def names(self, prefix=None):
+        """Sorted metric names, optionally filtered by dotted prefix."""
+        if prefix is None:
+            return sorted(self._metrics)
+        return sorted(
+            name for name in self._metrics
+            if name == prefix or name.startswith(prefix + ".")
+            or name.startswith(prefix)
+        )
+
+    def kind(self, name):
+        return self._lookup(name)[0]
+
+    def get(self, name):
+        """The registered metric object (or probe callable) for ``name``."""
+        return self._lookup(name)[1]
+
+    def _lookup(self, name):
+        entry = self._metrics.get(name)
+        if entry is None:
+            raise MetricError("no metric registered under %r" % name)
+        return entry
+
+    def value(self, name):
+        """The scalar reading of a metric: counter value, probe result,
+        last time-series sample, or histogram observation count."""
+        kind, metric = self._lookup(name)
+        if kind == _COUNTER:
+            return metric.value
+        if kind == _PROBE:
+            return metric()
+        if kind == _TIMESERIES:
+            return metric.samples[-1][1] if metric.samples else None
+        return metric.count
+
+    def summary(self, name):
+        """A JSON-safe summary dict for one metric."""
+        kind, metric = self._lookup(name)
+        if kind == _COUNTER:
+            return {"kind": kind, "value": metric.value}
+        if kind == _PROBE:
+            return {"kind": kind, "value": _jsonable(metric())}
+        if kind == _TIMESERIES:
+            return {
+                "kind": kind,
+                "samples": len(metric.samples),
+                "last": metric.samples[-1][1] if metric.samples else None,
+                "min": metric.min(),
+                "max": metric.max(),
+                "mean": metric.mean(),
+            }
+        return {
+            "kind": kind,
+            "count": metric.count,
+            "min": metric.min,
+            "max": metric.max,
+            "mean": metric.mean(),
+            "buckets": [list(pair) for pair in metric.buckets()],
+        }
+
+    def snapshot(self, prefix=None):
+        """{name: summary dict} for every (matching) registered metric."""
+        return {name: self.summary(name) for name in self.names(prefix)}
+
+    def metrics_jsonl(self, prefix=None):
+        """One JSON line per metric, sorted by name (offline tooling)."""
+        for name in self.names(prefix):
+            record = {"name": name}
+            record.update(self.summary(name))
+            yield json.dumps(record, sort_keys=True)
+
+    # -- event bus: consumer side ---------------------------------------------
+
+    def enable_events(self, only_kinds=None, limit=None):
+        """Start collecting emitted events into the record buffer.
+
+        ``only_kinds`` restricts collection to a set of event kinds;
+        ``limit`` caps the buffer (overflow counts into :attr:`dropped`).
+        Live subscribers are independent of this switch.
+        """
+        self._collecting = True
+        self._only_kinds = set(only_kinds) if only_kinds else None
+        self._limit = limit
+        self.active = True
+
+    def disable_events(self):
+        self._collecting = False
+        self.active = bool(self._subscribers)
+
+    def subscribe(self, callback, kinds=None):
+        """Call ``callback(event)`` live for every (matching) emitted event."""
+        self._subscribers.append((set(kinds) if kinds else None, callback))
+        self.active = True
+        return callback
+
+    def unsubscribe(self, callback):
+        self._subscribers = [
+            (kinds, cb) for kinds, cb in self._subscribers if cb is not callback
+        ]
+        self.active = self._collecting or bool(self._subscribers)
+
+    # -- event bus: producer side ------------------------------------------------
+
+    def emit(self, source, kind, **fields):
+        """Emit one structured event.
+
+        Hot-path producers must guard the call with ``if hub.active:`` so
+        that disabled instrumentation costs exactly one attribute check.
+        Calling emit while inactive is still safe (it returns None).
+        """
+        if not self.active:
+            return None
+        event = Event(self.sim.now, source, kind, fields)
+        if self._collecting and (
+            self._only_kinds is None or kind in self._only_kinds
+        ):
+            if self._limit is not None and len(self._records) >= self._limit:
+                self.dropped += 1
+            else:
+                self._records.append(event)
+                by_kind = self._by_kind.get(kind)
+                if by_kind is None:
+                    by_kind = self._by_kind[kind] = []
+                by_kind.append(event)
+        for kinds, callback in self._subscribers:
+            if kinds is None or kind in kinds:
+                callback(event)
+        return event
+
+    # -- event queries ----------------------------------------------------------
+
+    def events(self, kind=None):
+        """Collected events, all or of one kind (via the per-kind index)."""
+        if kind is None:
+            return list(self._records)
+        return list(self._by_kind.get(kind, ()))
+
+    def event_kinds(self):
+        return sorted(self._by_kind)
+
+    def clear_events(self):
+        self._records = []
+        self._by_kind = {}
+        self.dropped = 0
+
+    def events_jsonl(self, kind=None):
+        """One JSON line per collected event, in emission order."""
+        records = self._records if kind is None else self._by_kind.get(kind, ())
+        for event in records:
+            yield json.dumps(event.to_dict(), sort_keys=True)

@@ -37,6 +37,7 @@ class Tracer:
         self.limit = limit
         self.records = []
         self.dropped = 0
+        self._by_kind = {}  # kind -> [TraceRecord], same objects as records
 
     def emit(self, source, kind, detail=None):
         if not self.enabled:
@@ -46,14 +47,22 @@ class Tracer:
         if self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
             return
-        self.records.append(TraceRecord(self.sim.now, source, kind, detail))
+        record = TraceRecord(self.sim.now, source, kind, detail)
+        self.records.append(record)
+        by_kind = self._by_kind.get(kind)
+        if by_kind is None:
+            by_kind = self._by_kind[kind] = []
+        by_kind.append(record)
 
     def of_kind(self, kind):
-        return [r for r in self.records if r.kind == kind]
+        """Records of one kind, via a per-kind index maintained by
+        :meth:`emit` -- O(matches), not a scan of the whole trace."""
+        return list(self._by_kind.get(kind, ()))
 
     def clear(self):
         self.records = []
         self.dropped = 0
+        self._by_kind = {}
 
 
 class Counter:
@@ -106,16 +115,23 @@ class TimeSeries:
 
         Requires at least one sample; the final value is held until
         ``end_time`` (default: the last sample's time, contributing zero).
+        An ``end_time`` before the last sample is a contradiction -- the
+        horizon would run backwards -- and raises :class:`ValueError`.
         """
         if not self.samples:
             return None
+        t_last, v_last = self.samples[-1]
+        if end_time is not None and end_time < t_last:
+            raise ValueError(
+                "%s: end_time %r precedes the last sample at %r"
+                % (self.name, end_time, t_last)
+            )
         total = 0.0
         duration = 0
         for (t0, v0), (t1, _v1) in zip(self.samples, self.samples[1:]):
             total += v0 * (t1 - t0)
             duration += t1 - t0
-        if end_time is not None and end_time > self.samples[-1][0]:
-            t_last, v_last = self.samples[-1]
+        if end_time is not None and end_time > t_last:
             total += v_last * (end_time - t_last)
             duration += end_time - t_last
         if duration == 0:

@@ -29,7 +29,48 @@ def test_comparison_section():
 def test_unknown_section_fails():
     result = run_cli("nonsense")
     assert result.returncode == 2
+    assert "usage: python -m repro.analysis" in result.stdout
+    assert "unknown section(s): nonsense" in result.stdout
     assert "available:" in result.stdout
+
+
+def test_metrics_section_emits_jsonl():
+    import json
+
+    result = run_cli("metrics")
+    assert result.returncode == 0
+    lines = [line for line in result.stdout.splitlines() if line.strip()]
+    assert lines
+    records = [json.loads(line) for line in lines]
+    by_name = {record["name"]: record for record in records}
+    # Every record carries the stable schema.
+    assert all({"name", "kind"} <= set(record) for record in records)
+    # The workload stored 4 words through node0's NIC into node1's memory.
+    assert by_name["node0.nic.packetized"]["value"] == 4
+    assert by_name["node1.nic.delivered"]["value"] == 4
+    assert by_name["node1.nic.words_delivered"]["value"] == 4
+    # Metrics come out sorted by name (stable output for diffing).
+    assert [record["name"] for record in records] == sorted(by_name)
+
+
+def test_trace_export_section_emits_jsonl():
+    import json
+
+    result = run_cli("trace-export")
+    assert result.returncode == 0
+    lines = [line for line in result.stdout.splitlines() if line.strip()]
+    assert lines
+    events = [json.loads(line) for line in lines]
+    assert all(
+        {"time", "source", "kind", "fields"} <= set(event) for event in events
+    )
+    kinds = {event["kind"] for event in events}
+    # The automatic-update datapath appears end to end.
+    assert {"bus.write", "nic.packetized", "nic.injected", "mesh.route",
+            "nic.accepted", "nic.delivered"} <= kinds
+    # Events are exported in emission (time) order.
+    times = [event["time"] for event in events]
+    assert times == sorted(times)
 
 
 def test_breakdown_section():

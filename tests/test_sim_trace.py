@@ -1,5 +1,7 @@
 """Unit tests for tracing, counters and time series."""
 
+import pytest
+
 from repro.sim import Simulator, Tracer, Counter, TimeSeries
 
 
@@ -45,6 +47,24 @@ class TestTracer:
         assert len(tracer.of_kind("x")) == 1
         tracer.clear()
         assert tracer.records == []
+
+    def test_of_kind_uses_index_not_scan(self):
+        """of_kind is served by the per-kind index maintained in emit."""
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        for i in range(50):
+            tracer.emit("a", "x" if i % 2 else "y", i)
+        xs = tracer.of_kind("x")
+        assert len(xs) == 25
+        assert all(rec.kind == "x" for rec in xs)
+        # The index returns the same record objects, in emission order.
+        assert xs == [rec for rec in tracer.records if rec.kind == "x"]
+        assert tracer.of_kind("absent") == []
+        tracer.clear()
+        assert tracer.of_kind("x") == []
+        # The index keeps tracking after a clear.
+        tracer.emit("a", "x")
+        assert len(tracer.of_kind("x")) == 1
 
     def test_repr_is_readable(self):
         sim = Simulator()
@@ -95,3 +115,23 @@ class TestTimeSeries:
         ts = TimeSeries("x")
         ts.record(5, 7)
         assert ts.time_weighted_mean() == 7.0
+
+    def test_backwards_end_time_raises(self):
+        ts = TimeSeries("x")
+        ts.record(0, 1)
+        ts.record(10, 2)
+        with pytest.raises(ValueError):
+            ts.time_weighted_mean(end_time=5)
+
+    def test_backwards_end_time_raises_single_sample(self):
+        ts = TimeSeries("x")
+        ts.record(10, 3)
+        with pytest.raises(ValueError):
+            ts.time_weighted_mean(end_time=9)
+
+    def test_end_time_at_last_sample_is_valid(self):
+        ts = TimeSeries("x")
+        ts.record(0, 4)
+        ts.record(10, 8)
+        # A horizon exactly at the last sample adds no weight to it.
+        assert ts.time_weighted_mean(end_time=10) == 4.0
