@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test test-fast lint bench-simspeed
+.PHONY: test test-fast lint bench-simspeed bench-ckpt
 
 # Tier-1 suite (everything); lints first.
 test: lint
@@ -28,3 +28,9 @@ lint:
 # BENCH_simspeed.json (override with FORCE=1).
 bench-simspeed:
 	python -m benchmarks.bench_simspeed $(if $(FORCE),--force)
+
+# Checkpoint size + save/restore time at two system scales; refuses to
+# record a >10% size or >50% wall-time regression into BENCH_ckpt.json
+# (override with FORCE=1).
+bench-ckpt:
+	python -m benchmarks.bench_ckpt $(if $(FORCE),--force)

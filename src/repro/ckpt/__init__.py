@@ -1,0 +1,39 @@
+"""Checkpoint/restore and deterministic replay (``repro.ckpt``).
+
+The subsystem snapshots a whole simulated SHRIMP machine at a *safepoint*
+-- an instant where every pending event is a re-schedulable descriptor and
+every device datapath is quiescent -- into a single versioned, checksummed
+on-disk document, and restores it bit-for-bit: a run resumed from a
+checkpoint produces exactly the golden traces and metric snapshots of the
+uninterrupted run (pinned in ``tests/test_ckpt.py``).
+
+Layering (kept import-light here so ``repro.sim``/``repro.nic`` components
+can reach the error types without cycles):
+
+- :mod:`repro.ckpt.protocol` -- the ``Checkpointable`` convention and the
+  ``CkptError`` hierarchy.
+- :mod:`repro.ckpt.fmt` -- the versioned + checksummed file format.
+- :mod:`repro.ckpt.codec` -- Program/Context/instruction serialization.
+- :mod:`repro.ckpt.safepoint` -- safepoint predicate and seeker.
+- :mod:`repro.ckpt.workload` -- checkpoint-aware CPU workloads.
+- :mod:`repro.ckpt.system` -- ``SystemCheckpoint.save/load/fork``.
+- :mod:`repro.ckpt.divergence` -- the replay-divergence detector.
+
+See ``docs/checkpoint.md`` for the full protocol and format description.
+"""
+
+from repro.ckpt.protocol import (
+    CkptError,
+    CkptFormatError,
+    CkptIntegrityError,
+    CkptVersionError,
+    SafepointError,
+)
+
+__all__ = [
+    "CkptError",
+    "CkptFormatError",
+    "CkptIntegrityError",
+    "CkptVersionError",
+    "SafepointError",
+]

@@ -1,0 +1,114 @@
+"""The on-disk checkpoint format: versioned JSON with an integrity checksum.
+
+A checkpoint file is a single JSON document::
+
+    {
+      "magic": "repro-ckpt",
+      "version": 1,
+      "sim_ns": <simulated time of the snapshot>,
+      "payload_sha256": "<hex digest of the canonical payload encoding>",
+      "state": { ... the SystemCheckpoint state tree ... }
+    }
+
+The checksum covers the *canonical* encoding of ``state``
+(``json.dumps(state, sort_keys=True, separators=(",", ":"))``), so any
+corruption of the state tree -- bit flips, truncation repaired by a text
+editor, hand edits -- fails loudly with :class:`CkptIntegrityError`
+instead of silently misrestoring.  ``magic`` and ``version`` are checked
+before the checksum so the error messages distinguish "not a checkpoint"
+from "wrong version" from "corrupted".
+
+Version history:
+
+- v1: initial format (this PR).  Components serialize to JSON-safe dicts
+  per :mod:`repro.ckpt.protocol`; the state tree layout is defined by
+  ``SystemCheckpoint.capture``.
+"""
+
+import hashlib
+import json
+
+from repro.ckpt.protocol import (
+    CkptFormatError,
+    CkptIntegrityError,
+    CkptVersionError,
+)
+
+MAGIC = "repro-ckpt"
+VERSION = 1
+
+
+def canonical_json(state):
+    """The canonical encoding the checksum is computed over."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(state):
+    return hashlib.sha256(canonical_json(state).encode("utf-8")).hexdigest()
+
+
+def dumps(state, sim_ns):
+    """Serialize a state tree into the versioned checkpoint document."""
+    document = {
+        "magic": MAGIC,
+        "version": VERSION,
+        "sim_ns": sim_ns,
+        "payload_sha256": payload_digest(state),
+        "state": state,
+    }
+    return json.dumps(document, sort_keys=True)
+
+
+def save(state, sim_ns, path):
+    """Write a checkpoint file.  Returns the number of bytes written."""
+    encoded = dumps(state, sim_ns)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(encoded)
+    return len(encoded)
+
+
+def loads(text):
+    """Parse and verify a checkpoint document.  Returns (state, sim_ns).
+
+    Raises :class:`CkptFormatError` for anything that is not a checkpoint
+    document, :class:`CkptVersionError` for an incompatible version and
+    :class:`CkptIntegrityError` when the payload checksum mismatches.
+    """
+    try:
+        document = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise CkptFormatError("not a checkpoint file: %s" % exc)
+    if not isinstance(document, dict):
+        raise CkptFormatError("not a checkpoint file: top level is not an object")
+    if document.get("magic") != MAGIC:
+        raise CkptFormatError(
+            "not a checkpoint file: magic %r != %r"
+            % (document.get("magic"), MAGIC)
+        )
+    version = document.get("version")
+    if version != VERSION:
+        raise CkptVersionError(
+            "checkpoint version %r is not supported (this build reads v%d)"
+            % (version, VERSION)
+        )
+    for field in ("sim_ns", "payload_sha256", "state"):
+        if field not in document:
+            raise CkptFormatError("checkpoint is missing field %r" % field)
+    state = document["state"]
+    digest = payload_digest(state)
+    if digest != document["payload_sha256"]:
+        raise CkptIntegrityError(
+            "checkpoint payload checksum mismatch: file says %s, payload is %s"
+            % (document["payload_sha256"], digest)
+        )
+    return state, document["sim_ns"]
+
+
+def load(path):
+    """Read and verify a checkpoint file.  Returns (state, sim_ns)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise CkptFormatError("cannot read checkpoint %r: %s" % (path, exc))
+    return loads(text)

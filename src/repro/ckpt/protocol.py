@@ -1,0 +1,54 @@
+"""The ``Checkpointable`` protocol and checkpoint error hierarchy.
+
+A component participates in checkpointing by implementing two methods:
+
+- ``ckpt_capture() -> dict`` -- return a JSON-safe dict fully describing
+  the component's *persistent* simulation state.  JSON-safe means: only
+  ``None``/bool/int/float/str scalars, lists, and string-keyed dicts.
+  Integer-keyed maps are encoded as lists of ``[key, value]`` pairs so a
+  round trip through ``json`` is the identity.
+- ``ckpt_restore(state) -> None`` -- overwrite the component's state from
+  a dict previously produced by ``ckpt_capture`` on an *identically
+  configured* component.  Restore must be exact: a capture taken right
+  after a restore equals the original capture (the fixed-point property
+  checked by ``tests/test_ckpt.py``).
+
+What is deliberately *not* captured (bookkeeping that cannot influence
+any simulation observable, documented in ``docs/checkpoint.md``):
+``Signal.fire_count``, mutex ticket counters and contention statistics
+(safepoints require every mutex unlocked), and collected event-bus
+records (transient observer output, not machine state).
+
+This module has no imports from the rest of the package, so hardware
+components may import the error types without creating cycles.
+"""
+
+
+class CkptError(Exception):
+    """Base class for all checkpoint/restore failures."""
+
+
+class CkptFormatError(CkptError):
+    """The file is not a repro checkpoint (bad magic, truncation, not JSON)."""
+
+
+class CkptVersionError(CkptError):
+    """The checkpoint was written by an incompatible format version."""
+
+
+class CkptIntegrityError(CkptError):
+    """The payload checksum does not match: the file is corrupted."""
+
+
+class SafepointError(CkptError):
+    """Capture was attempted at an instant that is not a safepoint."""
+
+
+def pairs(mapping):
+    """Encode an int-keyed dict as a sorted list of ``[key, value]`` pairs."""
+    return [[key, mapping[key]] for key in sorted(mapping)]
+
+
+def unpairs(pair_list):
+    """Decode a list of ``[key, value]`` pairs back into a dict."""
+    return {key: value for key, value in pair_list}

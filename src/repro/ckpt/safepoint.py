@@ -1,0 +1,219 @@
+"""The safepoint predicate: when is the whole machine checkpointable?
+
+A *safepoint* is an instant at which every pending simulator event is a
+re-schedulable **descriptor** and every device datapath is quiescent.
+Concretely:
+
+- every live event in the queue is either a :class:`CpuWorker` resume
+  (the per-instruction timeout of ``Cpu.run_slice``, or the not-yet-fired
+  start event of an unprimed worker) or the flush timer of an open
+  blocked-write merge window;
+- every started, unfinished worker owns exactly one such event (a worker
+  parked on a signal -- mid memory transaction, blocked on a FIFO -- owns
+  none and is *not* at a boundary);
+- every suspended worker generator sits at ``run_slice``'s leading
+  per-instruction ``yield`` (its innermost frame is ``run_slice`` itself;
+  every other suspension is a ``yield from`` delegation whose innermost
+  frame belongs to the cache, bus or NIC);
+- the devices are idle: DMA engines disarmed, NIC FIFOs and kernel
+  inboxes empty, bus/EISA arbiters and router output ports unlocked, no
+  flits on any link, no pending CPU interrupts.
+
+At such an instant the machine is fully described by functional state
+(memory, caches, NIPTs, counters) plus a short list of ``(due, kind)``
+descriptors -- no generator continuation needs serializing.  The spin-wait
+structure of SHRIMP workloads makes safepoints dense in practice: between
+instruction issue and the next device activity, most instants qualify.
+
+``check_safepoint`` returns ``None`` or a human-readable *reason* the
+instant does not qualify; ``seek_safepoint`` single-steps the engine until
+one is reached.
+"""
+
+import inspect
+
+from repro.ckpt.protocol import SafepointError
+from repro.cpu.core import Cpu
+
+
+def live_entries(sim):
+    """Every not-cancelled, not-spent entry in the event queue.
+
+    Heap before bucket; callers needing global order sort by sequence
+    number (``entry[1]``), which is unique across both containers.
+    """
+    entries = [entry for entry in sim._heap if entry[2] is not None]
+    entries += [entry for entry in sim._bucket if entry[2] is not None]
+    return entries
+
+
+def _innermost(generator):
+    while True:
+        nested = getattr(generator, "gi_yieldfrom", None)
+        if nested is None:
+            return generator
+        generator = nested
+
+
+def _callback_name(callback):
+    return getattr(callback, "__qualname__", None) or repr(callback)
+
+
+def classify_entries(system):
+    """Classify every live queue entry, or explain why one resists.
+
+    Returns ``(descriptors, reason)`` where exactly one side is ``None``.
+    Each descriptor is a JSON-safe dict -- ``{"kind": "worker", "index":
+    i, "due": t}`` or ``{"kind": "merge", "node": n, "due": t}`` -- and the
+    list is sorted by the entries' original sequence numbers, so replaying
+    ``schedule`` calls in list order reproduces the original (time, seq)
+    relative order exactly.
+    """
+    workers = system.ckpt_workers
+    resume_owner = {}
+    for index, worker in enumerate(workers):
+        process = worker.process
+        if process is not None and not process.finished:
+            resume_owner[process._resume] = index
+
+    flush_nodes = {}
+    for node in system.nodes:
+        merge = node.nic._merge
+        if merge is None:
+            continue
+        if merge.flush_event is None or merge.flush_event.cancelled:
+            return None, (
+                "%s has an open merge window with no pending flush timer"
+                % node.nic.name
+            )
+        flush_nodes[id(merge.flush_event)] = node.node_id
+
+    ordered = []
+    for entry in live_entries(system.sim):
+        callback = entry[2]
+        index = resume_owner.get(callback)
+        if index is not None:
+            ordered.append(
+                (entry[1], {"kind": "worker", "index": index, "due": entry[0]})
+            )
+            continue
+        node_id = flush_nodes.get(id(entry))
+        if node_id is not None:
+            ordered.append(
+                (entry[1], {"kind": "merge", "node": node_id, "due": entry[0]})
+            )
+            continue
+        return None, (
+            "pending event at t=%d (%s) is neither a worker resume nor a "
+            "merge flush" % (entry[0], _callback_name(callback))
+        )
+    ordered.sort()
+    return [descriptor for _, descriptor in ordered], None
+
+
+def check_safepoint(system):
+    """Return ``None`` if the system is checkpointable now, else a reason."""
+    descriptors, reason = classify_entries(system)
+    if reason is not None:
+        return reason
+
+    owned = {}
+    for descriptor in descriptors:
+        if descriptor["kind"] == "worker":
+            index = descriptor["index"]
+            owned[index] = owned.get(index, 0) + 1
+
+    for index, worker in enumerate(system.ckpt_workers):
+        process = worker.process
+        if process is None:
+            return "worker %s has never been started" % worker.name
+        if process.finished:
+            continue
+        count = owned.get(index, 0)
+        if count != 1:
+            return (
+                "worker %s owns %d pending resume events (a boundary-parked "
+                "worker owns exactly 1)" % (worker.name, count)
+            )
+        state = inspect.getgeneratorstate(process._generator)
+        if state == inspect.GEN_CREATED:
+            continue  # unprimed: the pending event is its start
+        if state != inspect.GEN_SUSPENDED:
+            return "worker %s generator is %s" % (worker.name, state)
+        inner = _innermost(process._generator)
+        if getattr(inner, "gi_code", None) is not Cpu.run_slice.__code__:
+            return (
+                "worker %s is suspended inside %s, not at a run_slice "
+                "instruction boundary"
+                % (worker.name, getattr(inner, "__qualname__", inner))
+            )
+
+    for node in system.nodes:
+        if node.kernel is not None:
+            return (
+                "node %s has an OS kernel installed (live OS runs are not "
+                "checkpointable yet; see ROADMAP)" % node.name
+            )
+        nic = node.nic
+        if nic.dma_engine.busy:
+            return "%s DMA engine has a transfer in flight" % nic.name
+        if len(nic.outgoing_fifo):
+            return "%s outgoing FIFO holds %d packets" % (
+                nic.name, len(nic.outgoing_fifo))
+        if len(nic.incoming_fifo):
+            return "%s incoming FIFO holds %d packets" % (
+                nic.name, len(nic.incoming_fifo))
+        if len(nic.kernel_inbox):
+            return "%s kernel inbox holds %d messages" % (
+                nic.name, len(nic.kernel_inbox))
+        if node.bus._mutex.locked:
+            return "%s has a bus transaction in flight" % node.name
+        if node.eisa._mutex.locked:
+            return "%s has an EISA burst in flight" % node.name
+        if node.cpu._pending_interrupts:
+            return "%s has %d pending CPU interrupts" % (
+                node.name, len(node.cpu._pending_interrupts))
+        if node.cpu._preempt:
+            return "%s CPU has a pending preemption" % node.name
+
+    backplane = system.backplane
+    for link in backplane.iter_links():
+        if not link.ckpt_idle():
+            return "mesh link %s is not idle" % link.name
+    for node_id, lock in backplane._injection_locks.items():
+        if lock.locked:
+            return "injection port of node %d is held by a worm" % node_id
+    for coords, router in backplane.routers.items():
+        for output in router.outputs.values():
+            if output.mutex.locked:
+                return "router (%d,%d) output %s is held by a worm" % (
+                    coords[0], coords[1], output.name)
+    return None
+
+
+def seek_safepoint(system, max_events=1_000_000):
+    """Single-step the engine until :func:`check_safepoint` passes.
+
+    Returns the number of events stepped (0 if already at a safepoint).
+    Raises :class:`SafepointError` if the event budget runs out or the
+    queue drains while the machine still fails the predicate.
+    """
+    stepped = 0
+    while True:
+        reason = check_safepoint(system)
+        if reason is None:
+            return stepped
+        if stepped >= max_events:
+            raise SafepointError(
+                "no safepoint within %d events (last obstacle: %s)"
+                % (max_events, reason)
+            )
+        if not system.sim.step():
+            reason = check_safepoint(system)
+            if reason is None:
+                return stepped
+            raise SafepointError(
+                "event queue drained without reaching a safepoint: %s"
+                % reason
+            )
+        stepped += 1

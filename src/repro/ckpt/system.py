@@ -1,0 +1,128 @@
+"""Whole-machine checkpoints: ``SystemCheckpoint.save/load/fork``.
+
+``capture`` walks the system's ``Checkpointable`` tree at a safepoint
+(:mod:`repro.ckpt.safepoint`) into one JSON-safe state document;
+``restore`` builds a *fresh* :class:`~repro.machine.system.ShrimpSystem`
+from the named hardware config and replays that document into it.
+
+The restore protocol, in required order:
+
+1. construct + ``start()`` the fresh system, then ``run_until_idle()`` --
+   the device loops (NIC inject/accept/deliver, router inputs) execute
+   their start events at t=0 and park on their signals, leaving the event
+   queue empty with zero metric side effects;
+2. ``sim.ckpt_restore`` (needs the empty queue) sets the clock and event
+   count to the snapshot instant;
+3. the instrumentation hub, then every hardware component, restores its
+   functional state;
+4. workers are re-created (:meth:`CpuWorker.ckpt_restore_create`) and the
+   captured event **descriptors** are re-armed in ascending original
+   sequence order -- same-instant ties land in the same-time bucket in
+   creation order, so the resumed run pops events in exactly the captured
+   (time, seq) order and the continuation is bit-for-bit identical to the
+   uninterrupted run (``tests/test_ckpt.py`` pins this against the golden
+   traces).
+"""
+
+from repro.ckpt import fmt
+from repro.ckpt.protocol import CkptError, SafepointError
+from repro.ckpt.safepoint import check_safepoint, classify_entries
+from repro.ckpt.workload import CpuWorker
+from repro.machine.config import CONFIGS
+from repro.machine.system import ShrimpSystem
+
+
+def _config_name(factory):
+    for name, candidate in CONFIGS.items():
+        if candidate is factory:
+            return name
+    raise CkptError(
+        "system was built from a params factory that is not in "
+        "repro.machine.config.CONFIGS; only named configs are restorable"
+    )
+
+
+class SystemCheckpoint:
+    """Capture/restore a whole simulated SHRIMP machine."""
+
+    @classmethod
+    def capture(cls, system):
+        """Snapshot ``system`` into a JSON-safe state document.
+
+        Raises :class:`SafepointError` unless the current instant is a
+        safepoint -- use :func:`repro.ckpt.safepoint.seek_safepoint` first
+        when pausing mid-run.
+        """
+        reason = check_safepoint(system)
+        if reason is not None:
+            raise SafepointError(reason)
+        descriptors, reason = classify_entries(system)
+        if reason is not None:  # unreachable after the check, kept defensive
+            raise SafepointError(reason)
+        return {
+            "config": _config_name(system.params_factory),
+            "width": system.width,
+            "height": system.height,
+            "sim": system.sim.ckpt_capture(),
+            "instrumentation": system.instrumentation.ckpt_capture(),
+            "system": system.ckpt_capture(),
+            "workers": [
+                worker.ckpt_capture() for worker in system.ckpt_workers
+            ],
+            "descriptors": descriptors,
+        }
+
+    @classmethod
+    def restore(cls, state):
+        """Build a fresh system equal to the captured one.  Returns it."""
+        factory = CONFIGS.get(state["config"])
+        if factory is None:
+            raise CkptError(
+                "checkpoint names unknown machine config %r (this build "
+                "knows %s)" % (state["config"], ", ".join(sorted(CONFIGS)))
+            )
+        system = ShrimpSystem(state["width"], state["height"], factory)
+        system.start()
+        system.sim.run_until_idle()
+        system.sim.ckpt_restore(state["sim"])
+        system.instrumentation.ckpt_restore(state["instrumentation"])
+        system.ckpt_restore(state["system"])
+        workers = [
+            CpuWorker.ckpt_restore_create(system, worker_state)
+            for worker_state in state["workers"]
+        ]
+        for descriptor in state["descriptors"]:
+            kind = descriptor.get("kind")
+            if kind == "worker":
+                workers[descriptor["index"]].ckpt_schedule(descriptor["due"])
+            elif kind == "merge":
+                nic = system.nodes[descriptor["node"]].nic
+                event = system.sim.schedule_at(
+                    descriptor["due"], nic._merge_timer_fired, nic._merge
+                )
+                nic.ckpt_attach_flush(event)
+            else:
+                raise CkptError("unknown descriptor kind %r" % (kind,))
+        return system
+
+    @classmethod
+    def save(cls, system, path):
+        """Capture and write a checkpoint file.  Returns bytes written."""
+        return fmt.save(cls.capture(system), system.sim.now, path)
+
+    @classmethod
+    def load(cls, path):
+        """Read, verify and restore a checkpoint file.  Returns the system."""
+        state, _ = fmt.load(path)
+        return cls.restore(state)
+
+    @classmethod
+    def fork(cls, system):
+        """An independent in-memory copy of ``system`` (at a safepoint).
+
+        The state round-trips through the canonical serialization, so the
+        fork shares no mutable state with -- and is checked exactly as
+        strictly as -- an on-disk checkpoint.
+        """
+        state, _ = fmt.loads(fmt.dumps(cls.capture(system), system.sim.now))
+        return cls.restore(state)

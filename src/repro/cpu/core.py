@@ -88,6 +88,20 @@ class InstructionCounts:
         self.copy_words = 0
         self._active = {}
 
+    def ckpt_capture(self):
+        return {
+            "total": self.total,
+            "by_region": dict(self.by_region),
+            "copy_words": self.copy_words,
+            "active": dict(self._active),
+        }
+
+    def ckpt_restore(self, state):
+        self.total = state["total"]
+        self.by_region = dict(state["by_region"])
+        self.copy_words = state["copy_words"]
+        self._active = dict(state["active"])
+
 
 class RegisterFile:
     """Name-indexed mapping view over a context's register list.
@@ -347,6 +361,25 @@ class Cpu:
                 self._jump_target if self._jump_target is not None
                 else context.pc + 1
             )
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Retirement accounting.  Architectural contexts belong to their
+        workload (or OS process) and are captured there; safepoints
+        guarantee ``_pending_interrupts`` is empty and ``_preempt`` clear,
+        so neither needs a slot here."""
+        return {
+            "counts": self.counts.ckpt_capture(),
+            "cycles_retired": self.cycles_retired,
+        }
+
+    def ckpt_restore(self, state):
+        self.counts.ckpt_restore(state["counts"])
+        self.cycles_retired = state["cycles_retired"]
+        self._jump_target = None
+        self._pending_interrupts = []
+        self._preempt = False
 
     def run_to_halt(self, program, context=None):
         """Generator: convenience wrapper running one program to completion.

@@ -31,6 +31,18 @@ class BareMmu:
             return vaddr, CachePolicy.UNCACHED
         return vaddr, self._policies.get(page_number(vaddr), CachePolicy.WRITE_BACK)
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        from repro.ckpt.protocol import pairs
+
+        return {"policies": pairs(self._policies)}
+
+    def ckpt_restore(self, state):
+        from repro.ckpt.protocol import unpairs
+
+        self._policies = unpairs(state["policies"])
+
 
 class ShrimpNode:
     """CPU + cache + bus + DRAM + EISA bridge + SHRIMP NIC."""
@@ -70,6 +82,28 @@ class ShrimpNode:
 
     def start(self):
         self.nic.start()
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        return {
+            "memory": self.memory.ckpt_capture(),
+            "bus": self.bus.ckpt_capture(),
+            "cache": self.cache.ckpt_capture(),
+            "eisa": self.eisa.ckpt_capture(),
+            "nic": self.nic.ckpt_capture(),
+            "mmu": self.mmu.ckpt_capture(),
+            "cpu": self.cpu.ckpt_capture(),
+        }
+
+    def ckpt_restore(self, state):
+        self.memory.ckpt_restore(state["memory"])
+        self.bus.ckpt_restore(state["bus"])
+        self.cache.ckpt_restore(state["cache"])
+        self.eisa.ckpt_restore(state["eisa"])
+        self.nic.ckpt_restore(state["nic"])
+        self.mmu.ckpt_restore(state["mmu"])
+        self.cpu.ckpt_restore(state["cpu"])
 
     def command_addr(self, dram_addr):
         """Command-memory address controlling ``dram_addr`` (section 4.2)."""

@@ -24,12 +24,18 @@ class ShrimpSystem:
         # The machine-wide instrumentation hub (metrics registry + event
         # bus); every component below registers with this same instance.
         self.instrumentation = Instrumentation.of(self.sim)
+        self.width = width
+        self.height = height
+        self.params_factory = params_factory
         self.params = params_factory()
         self.backplane = Backplane(self.sim, self.params.mesh, width, height)
         self.nodes = [
             ShrimpNode(self.sim, node_id, self.backplane, self.params)
             for node_id in range(self.backplane.node_count)
         ]
+        # CpuWorker workloads register here so SystemCheckpoint can capture
+        # their programs, contexts and pending instruction-boundary resumes.
+        self.ckpt_workers = []
         self._started = False
 
     @property
@@ -49,3 +55,29 @@ class ShrimpSystem:
 
     def run(self, until=None, max_events=20_000_000):
         self.sim.run(until=until, max_events=max_events)
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Hardware state of every node plus the mesh backplane.
+
+        The simulator clock, instrumentation hub and workload descriptors
+        are captured by :class:`~repro.ckpt.system.SystemCheckpoint`, which
+        owns the safepoint protocol this composition relies on.
+        """
+        return {
+            "nodes": [node.ckpt_capture() for node in self.nodes],
+            "backplane": self.backplane.ckpt_capture(),
+        }
+
+    def ckpt_restore(self, state):
+        if len(state["nodes"]) != len(self.nodes):
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "checkpoint has %d nodes, system has %d"
+                % (len(state["nodes"]), len(self.nodes))
+            )
+        for node, node_state in zip(self.nodes, state["nodes"]):
+            node.ckpt_restore(node_state)
+        self.backplane.ckpt_restore(state["backplane"])

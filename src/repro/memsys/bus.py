@@ -146,6 +146,23 @@ class XpressBus:
         for snooper in self._snoopers:
             snooper(txn)
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Utilisation accounting.  Safepoints guarantee no transaction is
+        in flight (the arbiter mutex is unlocked), so ``busy_ns`` is the
+        only state outside the instrumentation hub."""
+        if self._mutex.locked:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "bus %s has a transaction in flight at capture" % self.name
+            )
+        return {"busy_ns": self.busy_ns}
+
+    def ckpt_restore(self, state):
+        self.busy_ns = state["busy_ns"]
+
     # -- transaction generators ---------------------------------------------
 
     def read(self, addr, nwords, originator):

@@ -233,6 +233,45 @@ class Cache:
                     hub.emit(self.name, "cache.snoop_invalidate",
                              addr=line_base, originator=txn.originator)
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Valid lines only, addressed by (set, way).  ``lru`` values are
+        absolute ticks of ``_lru_clock``, so the clock itself is captured
+        too -- restoring both reproduces every future victim choice."""
+        lines = []
+        for set_index, ways in enumerate(self._sets):
+            for way, line in enumerate(ways):
+                if line.valid:
+                    lines.append([
+                        set_index,
+                        way,
+                        {
+                            "tag": line.tag,
+                            "dirty": line.dirty,
+                            "lru": line.lru,
+                            "data": list(line.data),
+                        },
+                    ])
+        return {"lru_clock": self._lru_clock, "lines": lines}
+
+    def ckpt_restore(self, state):
+        for ways in self._sets:
+            for line in ways:
+                line.tag = -1
+                line.valid = False
+                line.dirty = False
+                line.data = [0] * self.words_per_line
+                line.lru = 0
+        for set_index, way, entry in state["lines"]:
+            line = self._sets[set_index][way]
+            line.tag = entry["tag"]
+            line.valid = True
+            line.dirty = entry["dirty"]
+            line.lru = entry["lru"]
+            line.data = list(entry["data"])
+        self._lru_clock = state["lru_clock"]
+
     # -- introspection ------------------------------------------------------------
 
     def contains(self, addr):

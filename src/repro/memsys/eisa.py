@@ -31,6 +31,20 @@ class EisaBus:
         self.busy_ns = 0
         self.instr.probe(name + ".busy_ns", lambda: self.busy_ns)
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        if self._mutex.locked:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "EISA channel %s has a burst in flight at capture" % self.name
+            )
+        return {"busy_ns": self.busy_ns}
+
+    def ckpt_restore(self, state):
+        self.busy_ns = state["busy_ns"]
+
     def dma_write(self, addr, words):
         """Generator: burst-write ``words`` to DRAM at ``addr``.
 

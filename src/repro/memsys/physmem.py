@@ -71,3 +71,40 @@ class PhysicalMemory:
         if addr < 0 or addr + length > self.size_bytes:
             raise AddressError("dump outside memory")
         return bytes(self._data[addr : addr + length])
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    _CKPT_CHUNK = 4096
+
+    def ckpt_capture(self):
+        """Sparse capture: only chunks containing a nonzero byte are stored
+        (as hex strings), since simulated DRAM is overwhelmingly zero."""
+        chunks = []
+        data = self._data
+        chunk = self._CKPT_CHUNK
+        for offset in range(0, self.size_bytes, chunk):
+            piece = data[offset : offset + chunk]
+            if any(piece):
+                chunks.append([offset, piece.hex()])
+        return {
+            "size_bytes": self.size_bytes,
+            "chunks": chunks,
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+        }
+
+    def ckpt_restore(self, state):
+        if state["size_bytes"] != self.size_bytes:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "memory size mismatch: checkpoint has %d bytes, node has %d"
+                % (state["size_bytes"], self.size_bytes)
+            )
+        data = self._data
+        data[:] = bytes(self.size_bytes)
+        for offset, hexdata in state["chunks"]:
+            piece = bytes.fromhex(hexdata)
+            data[offset : offset + len(piece)] = piece
+        self.read_count = state["read_count"]
+        self.write_count = state["write_count"]

@@ -105,6 +105,52 @@ class Backplane:
         for router in self.routers.values():
             router.start()
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def iter_links(self):
+        """Every link exactly once, in deterministic build order.
+
+        Neighbour links are each some router's output; injection links are
+        no router's output (the NIC writes them); ejection links are the
+        LOCAL outputs.  So injection links plus all router outputs cover
+        the mesh without duplicates.
+        """
+        for node_id in range(self.node_count):
+            yield self._injection[node_id]
+        for router in self.routers.values():
+            for output in router.outputs.values():
+                if output.link is not None:
+                    yield output.link
+
+    def ckpt_capture(self):
+        """Sparse link capture: only links holding flits or future frees.
+
+        System safepoints require every link idle (worms in flight imply
+        live router-process events), so this normally captures nothing;
+        the general form keeps component round-trips exact.
+        """
+        links = []
+        for link in self.iter_links():
+            if not link.ckpt_idle():
+                links.append([link.name, link.ckpt_capture()])
+        return {"links": links}
+
+    def ckpt_restore(self, state):
+        by_name = {link.name: link for link in self.iter_links()}
+        for link in by_name.values():
+            link._entries.clear()
+            link._frees.clear()
+        for name, link_state in state["links"]:
+            link = by_name.get(name)
+            if link is None:
+                from repro.ckpt.protocol import CkptError
+
+                raise CkptError(
+                    "checkpoint names unknown mesh link %r "
+                    "(topology mismatch)" % name
+                )
+            link.ckpt_restore(link_state)
+
     # -- NIC attachment ----------------------------------------------------------
 
     def injection_link(self, node_id):

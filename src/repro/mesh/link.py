@@ -218,6 +218,53 @@ class Link:
         self.flits_moved.bump(count)
         self._not_empty.fire()
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Buffered flits plus declared future-free times.
+
+        Flits of one packet share the packet object; the capture dedupes by
+        identity (``packet_index`` into a side table) so the restore
+        rebuilds exactly one Packet per wormhole, not one per flit.
+        System-level safepoints require links *idle* (no entries, no
+        outstanding frees), but the component capture is general so link
+        state round-trips in isolation tests.
+        """
+        packet_states = []
+        packet_index_by_id = {}
+        entries = []
+        for ready_at, flit in self._entries:
+            key = id(flit.packet)
+            index = packet_index_by_id.get(key)
+            if index is None:
+                index = len(packet_states)
+                packet_index_by_id[key] = index
+                packet_states.append(flit.packet.to_state())
+            entries.append(
+                [ready_at, index, flit.index, flit.is_head, flit.is_tail]
+            )
+        return {
+            "packets": packet_states,
+            "entries": entries,
+            "frees": list(self._frees),
+        }
+
+    def ckpt_restore(self, state):
+        from repro.mesh.packet import Flit, Packet
+
+        packets = [Packet.from_state(ps) for ps in state["packets"]]
+        self._entries.clear()
+        for ready_at, packet_index, flit_index, is_head, is_tail in state["entries"]:
+            flit = Flit(packets[packet_index], flit_index, is_head, is_tail)
+            self._entries.append((ready_at, flit))
+        self._frees.clear()
+        self._frees.extend(state["frees"])
+
+    def ckpt_idle(self):
+        """True when the link holds no state a safepoint would need to
+        serialize: nothing buffered and every declared free matured."""
+        return not self._entries and self.free_slots() == self.capacity
+
     # -- reader side -----------------------------------------------------------
 
     def receive(self):

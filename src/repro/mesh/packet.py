@@ -144,6 +144,38 @@ class Packet:
             for index in range(count)
         ]
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def to_state(self):
+        """JSON-safe snapshot, including a corrupted packet's stale CRC."""
+        return {
+            "src": list(self.src_coords),
+            "dest": list(self.dest_coords),
+            "dest_addr": self.dest_addr,
+            "payload": list(self.payload),
+            "kind": self.kind,
+            "created_ns": self.created_ns,
+            "crc": self.crc,
+            "corrupted": self._corrupted,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        packet = cls(
+            tuple(state["src"]),
+            tuple(state["dest"]),
+            state["dest_addr"],
+            state["payload"],
+            kind=state["kind"],
+            created_ns=state["created_ns"],
+        )
+        # Overwrite the freshly computed CRC: a corrupted packet carries a
+        # checksum that no longer matches its payload, and the restored
+        # packet must fail verification the same way the original would.
+        packet.crc = state["crc"]
+        packet._corrupted = state["corrupted"]
+        return packet
+
     def __repr__(self):
         return "Packet(%r->%r addr=%#x x%d words)" % (
             self.src_coords,

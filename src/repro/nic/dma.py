@@ -104,6 +104,30 @@ class DmaEngine:
             return None  # crosses into a differently-mapped half
         return half
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Arming registers only.  A busy engine has a live ``_transfer``
+        process (an unserializable generator), so safepoints require the
+        engine idle; the registers still round-trip for completeness."""
+        if self.busy:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "%s DMA engine busy at capture (transfer in flight)"
+                % self.nic.name
+            )
+        return {
+            "busy": False,
+            "base_addr": self.base_addr,
+            "remaining_words": self.remaining_words,
+        }
+
+    def ckpt_restore(self, state):
+        self.busy = state["busy"]
+        self.base_addr = state["base_addr"]
+        self.remaining_words = state["remaining_words"]
+
     # -- the transfer process ------------------------------------------------------
 
     def _transfer(self, base_addr, nwords, half):

@@ -130,6 +130,31 @@ class PacketFifo:
         self._changed.fire()
         return packet
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Queued packets (JSON-safe) plus threshold/high-water state.
+
+        System safepoints require both NIC FIFOs empty (parked consumer
+        loops would not wake for restored packets), but the capture is
+        general so FIFO state round-trips in component tests.
+        """
+        return {
+            "packets": [packet.to_state() for packet in self._packets],
+            "occupancy_bytes": self.occupancy_bytes,
+            "max_occupancy_bytes": self.max_occupancy_bytes,
+            "threshold_armed": self._threshold_armed,
+        }
+
+    def ckpt_restore(self, state):
+        from repro.mesh.packet import Packet
+
+        self._packets.clear()
+        self._packets.extend(Packet.from_state(ps) for ps in state["packets"])
+        self.occupancy_bytes = state["occupancy_bytes"]
+        self.max_occupancy_bytes = state["max_occupancy_bytes"]
+        self._threshold_armed = state["threshold_armed"]
+
     # -- waiting helpers -------------------------------------------------------------
 
     def wait_below_threshold(self):

@@ -293,6 +293,85 @@ class NetworkInterface:
         yield from self.outgoing_fifo.put(packet)
         self.packets_packetized.bump()
 
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Compose the NIC's parts, plus the open blocked-write merge.
+
+        The merge's pending flush timer is captured as its absolute due
+        time; :class:`~repro.ckpt.system.SystemCheckpoint` recreates the
+        event (in global sequence order, so same-instant ties replay
+        identically) and re-attaches it via :meth:`ckpt_attach_flush`.
+        The event's raw sequence number is deliberately *not* captured:
+        like the engine's ``_seq`` counter it is an artifact of run
+        history, and only the relative order (already encoded by the
+        checkpoint's descriptor list) is meaningful.
+        """
+        merge_state = None
+        if self._merge is not None:
+            merge = self._merge
+            if merge.flush_event is None or merge.flush_event.cancelled:
+                from repro.ckpt.protocol import CkptError
+
+                raise CkptError(
+                    "%s has an open merge with no pending flush timer"
+                    % self.name
+                )
+            merge_state = {
+                "page": merge.page,
+                "start_offset": merge.start_offset,
+                "words": list(merge.words),
+                "next_addr": merge.next_addr,
+                "last_time": merge.last_time,
+                "flush_due": merge.flush_event.time,
+            }
+        return {
+            "nipt": self.nipt.ckpt_capture(),
+            "outgoing_fifo": self.outgoing_fifo.ckpt_capture(),
+            "incoming_fifo": self.incoming_fifo.ckpt_capture(),
+            "dma_engine": self.dma_engine.ckpt_capture(),
+            "kernel_inbox": self.kernel_inbox.ckpt_capture(),
+            "merge": merge_state,
+        }
+
+    def ckpt_restore(self, state):
+        self.nipt.ckpt_restore(state["nipt"])
+        self.outgoing_fifo.ckpt_restore(state["outgoing_fifo"])
+        self.incoming_fifo.ckpt_restore(state["incoming_fifo"])
+        self.dma_engine.ckpt_restore(state["dma_engine"])
+        self.kernel_inbox.ckpt_restore(state["kernel_inbox"])
+        merge_state = state["merge"]
+        if merge_state is None:
+            self._merge = None
+            return
+        half = self.nipt.lookup_out(
+            merge_state["page"], merge_state["start_offset"]
+        )
+        if half is None:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "%s: restored merge at page %d offset %d has no outgoing "
+                "mapping" % (self.name, merge_state["page"],
+                             merge_state["start_offset"])
+            )
+        merge = _MergeContext(
+            half,
+            merge_state["page"],
+            merge_state["start_offset"],
+            merge_state["words"][0],
+            merge_state["last_time"],
+        )
+        merge.words = list(merge_state["words"])
+        merge.next_addr = merge_state["next_addr"]
+        self._merge = merge
+
+    def ckpt_attach_flush(self, event):
+        """Wire a recreated flush event to the restored merge context."""
+        if self._merge is None:
+            raise RuntimeError("%s has no restored merge context" % self.name)
+        self._merge.flush_event = event
+
     # -- the three datapath processes ---------------------------------------------------------
 
     def _injection_loop(self):

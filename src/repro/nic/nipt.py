@@ -170,3 +170,50 @@ class Nipt:
 
     def mapped_in_pages(self):
         return [i for i, e in enumerate(self.entries) if e.mapped_in]
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Sparse capture: only entries differing from the freshly built
+        default (no halves, not mapped in, no interrupt bit)."""
+        pages = []
+        for page, entry in enumerate(self.entries):
+            if not (entry.halves or entry.mapped_in
+                    or entry.interrupt_on_arrival):
+                continue
+            pages.append([
+                page,
+                {
+                    "halves": [
+                        {
+                            "src_start": half.src_start,
+                            "src_end": half.src_end,
+                            "dest_node": half.dest_node,
+                            "dest_addr": half.dest_addr,
+                            "mode": half.mode,
+                        }
+                        for half in entry.halves
+                    ],
+                    "mapped_in": entry.mapped_in,
+                    "interrupt_on_arrival": entry.interrupt_on_arrival,
+                },
+            ])
+        return {"pages": pages}
+
+    def ckpt_restore(self, state):
+        for entry in self.entries:
+            entry.halves = []
+            entry.mapped_in = False
+            entry.interrupt_on_arrival = False
+        for page, entry_state in state["pages"]:
+            entry = self.entry(page)
+            for half_state in entry_state["halves"]:
+                entry.add_half(OutgoingHalf(
+                    half_state["src_start"],
+                    half_state["src_end"],
+                    half_state["dest_node"],
+                    half_state["dest_addr"],
+                    half_state["mode"],
+                ))
+            entry.mapped_in = entry_state["mapped_in"]
+            entry.interrupt_on_arrival = entry_state["interrupt_on_arrival"]

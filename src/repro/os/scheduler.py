@@ -69,3 +69,28 @@ class RoundRobinScheduler:
     @property
     def finished(self):
         return self._driver is not None and self._driver.finished
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        return {
+            "queue_pids": [process.pid for process in self._run_queue],
+            "context_switches": self.context_switches,
+        }
+
+    def ckpt_restore(self, state):
+        """Rebuild the run queue from the kernel's (restored) process
+        table; the driver loop itself is not serializable and must be
+        restarted by the caller if scheduling is to continue."""
+        processes = self.kernel.processes
+        self._run_queue.clear()
+        for pid in state["queue_pids"]:
+            process = processes.get(pid)
+            if process is None:
+                from repro.ckpt.protocol import CkptError
+
+                raise CkptError(
+                    "run queue references unknown pid %d" % pid
+                )
+            self._run_queue.append(process)
+        self.context_switches = state["context_switches"]

@@ -307,3 +307,31 @@ class Simulator:
     def run_until_idle(self, max_events=10_000_000):
         """Run with only the runaway guard; convenience for tests."""
         return self.run(max_events=max_events)
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Clock and event accounting.
+
+        Queue contents are NOT captured here: pending events hold Python
+        callbacks and generator continuations, which are not serializable.
+        ``SystemCheckpoint`` captures them as re-schedulable *descriptors*
+        (worker instruction-boundary resumes, merge-window flushes) at a
+        safepoint, where those are provably the only live entries.
+        ``_seq`` is likewise not captured -- tie-breaking only needs the
+        *relative* creation order of pending events, which the restore
+        path reproduces by recreating descriptors in ascending original
+        sequence order.
+        """
+        return {"now": self._now, "event_count": self._event_count}
+
+    def ckpt_restore(self, state):
+        if self._heap or self._bucket:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "cannot restore a simulator clock with %d events pending"
+                % (len(self._heap) + len(self._bucket))
+            )
+        self._now = state["now"]
+        self._event_count = state["event_count"]

@@ -86,6 +86,23 @@ class Histogram:
         self.max = None
         self._buckets = {}
 
+    def ckpt_capture(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[index, self._buckets[index]]
+                        for index in sorted(self._buckets)],
+        }
+
+    def ckpt_restore(self, state):
+        self.count = state["count"]
+        self.total = state["total"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self._buckets = {index: count for index, count in state["buckets"]}
+
     def __repr__(self):
         return "Histogram(%s: n=%d, mean=%s)" % (self.name, self.count,
                                                  self.mean())
@@ -362,3 +379,45 @@ class Instrumentation:
         records = self._records if kind is None else self._by_kind.get(kind, ())
         for event in records:
             yield json.dumps(event.to_dict(), sort_keys=True)
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Every registered counter, time series and histogram, by name.
+
+        Probes are skipped: they are derived views over state their owning
+        components capture themselves.  Collected event records are also
+        skipped -- they are observer output, not machine state.
+        """
+        metrics = {}
+        for name in sorted(self._metrics):
+            kind, metric = self._metrics[name]
+            if kind == _PROBE:
+                continue
+            metrics[name] = {"kind": kind, "state": metric.ckpt_capture()}
+        return {"metrics": metrics}
+
+    def ckpt_restore(self, state):
+        """Restore by name into the already-registered metric objects.
+
+        A captured name missing from this hub's registry means the
+        restored machine is configured differently from the captured one
+        (different topology or params); that is a hard error, not
+        something to skip silently.
+        """
+        from repro.ckpt.protocol import CkptError
+
+        for name, entry in state["metrics"].items():
+            registered = self._metrics.get(name)
+            if registered is None:
+                raise CkptError(
+                    "checkpoint names metric %r that this machine does not "
+                    "register (configuration mismatch)" % name
+                )
+            kind, metric = registered
+            if kind != entry["kind"]:
+                raise CkptError(
+                    "metric %r is a %s in the checkpoint but a %s here"
+                    % (name, entry["kind"], kind)
+                )
+            metric.ckpt_restore(entry["state"])

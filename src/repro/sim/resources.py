@@ -169,3 +169,34 @@ class BoundedQueue:
     def peek(self):
         """Head item without removing it, or None if empty."""
         return self._items[0] if self._items else None
+
+    # -- checkpoint protocol (see repro.ckpt) ---------------------------------
+
+    def ckpt_capture(self):
+        """Accounting state only; queued items are not serialized here.
+
+        System-level safepoints require every BoundedQueue empty (the NIC
+        kernel inbox is the only long-lived instance), so the capture
+        records the counters and refuses on buffered items rather than
+        guessing how to serialize arbitrary payload objects.
+        """
+        if self._items:
+            from repro.ckpt.protocol import CkptError
+
+            raise CkptError(
+                "queue %s holds %d items at capture; checkpoints require "
+                "quiescent queues" % (self.name, len(self._items))
+            )
+        return {
+            "put_count": self.put_count,
+            "get_count": self.get_count,
+            "max_occupancy": self.max_occupancy,
+            "closed": self._closed,
+        }
+
+    def ckpt_restore(self, state):
+        self._items.clear()
+        self.put_count = state["put_count"]
+        self.get_count = state["get_count"]
+        self.max_occupancy = state["max_occupancy"]
+        self._closed = state["closed"]

@@ -83,6 +83,12 @@ class Counter:
     def __int__(self):
         return self.value
 
+    def ckpt_capture(self):
+        return {"value": self.value}
+
+    def ckpt_restore(self, state):
+        self.value = state["value"]
+
     def __repr__(self):
         return "Counter(%s=%d)" % (self.name, self.value)
 
@@ -96,6 +102,12 @@ class TimeSeries:
 
     def record(self, time, value):
         self.samples.append((time, value))
+
+    def ckpt_capture(self):
+        return {"samples": [[t, v] for t, v in self.samples]}
+
+    def ckpt_restore(self, state):
+        self.samples = [(t, v) for t, v in state["samples"]]
 
     def values(self):
         return [v for _t, v in self.samples]
