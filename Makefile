@@ -1,6 +1,11 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
+# Hash randomization must not leak into simulations: golden traces and
+# checkpoint digests are pinned bit-for-bit (simlint SL104 polices the
+# code side; this pins the interpreter side for tests and benchmarks).
+export PYTHONHASHSEED := 0
+
 .PHONY: test test-fast lint bench-simspeed bench-ckpt
 
 # Tier-1 suite (everything); lints first.
@@ -11,10 +16,12 @@ test: lint
 test-fast:
 	python -m pytest -x -q -m "not slow"
 
-# Style/defect gate: ruff when available (config in pyproject.toml).
-# The container image may not ship ruff and installs are off-limits, so
-# fall back to a byte-compile sweep -- it still catches syntax errors
-# across every tree the real linter would cover.
+# Style/defect gate: ruff when available (config in pyproject.toml),
+# then simlint (this repo's own AST invariant checker -- determinism,
+# checkpoint coverage, instrumentation hygiene, callback safety; see
+# docs/static-analysis.md).  The container image may not ship ruff and
+# installs are off-limits, so fall back to a byte-compile sweep -- it
+# still catches syntax errors across every tree the real linter covers.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
@@ -22,6 +29,7 @@ lint:
 		echo "lint: ruff not found; falling back to a compileall syntax sweep"; \
 		python -m compileall -q src tests benchmarks examples; \
 	fi
+	python -m repro.lint src tests
 
 # Simulator-speed microbench; refuses to record a >10% events/sec
 # regression -- or >2% instrumentation-off overhead -- into

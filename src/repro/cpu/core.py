@@ -176,12 +176,17 @@ class Cpu:
         self.mmu = mmu
         self.params = params
         self.name = name
-        self.context = None
-        self.program = None
+        # Architectural contexts belong to the workload / OS process and
+        # are captured there (see ckpt_capture); the pointers are rewired
+        # by the scheduler after restore.
+        self.context = None  # simlint: ignore[SL201] externally owned
+        self.program = None  # simlint: ignore[SL201] externally owned
         self.counts = InstructionCounts()
         self.cycles_retired = 0
         self._jump_target = None
         self._pending_interrupts = []
+        # simlint: ignore[SL201] wiring: live callables registered once at
+        # construction time by the kernel/devices, identical after restore
         self._interrupt_handlers = {}
         self.syscall_handler = None  # set by the kernel
         self.fault_handler = None  # set by the kernel

@@ -1,0 +1,175 @@
+"""The ``python -m repro.lint`` command line.
+
+Usage::
+
+    python -m repro.lint [paths...] [options]
+
+Defaults to linting ``src`` and ``tests``.  Exit codes: 0 -- no new
+findings (baselined findings are reported but do not fail the run);
+1 -- at least one new finding; 2 -- usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.engine import (
+    DEFAULT_BASELINE_NAME,
+    LintUsageError,
+    apply_baseline,
+    baseline_payload,
+    load_baseline,
+    run_rules,
+)
+from repro.lint.registry import all_rules
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: AST-based invariant checks for determinism, "
+        "checkpoint coverage, instrumentation hygiene and callback safety "
+        "(docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file absorbing known findings "
+        "(default: %s when it exists)" % DEFAULT_BASELINE_NAME,
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; every finding is new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule codes and titles, then exit",
+    )
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print a rule's full documentation, then exit",
+    )
+    return parser
+
+
+def _baseline_path(args):
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists() or args.write_baseline:
+        return default
+    return None
+
+
+def _report_text(findings, new, stale, suppressed, out):
+    for finding in findings:
+        tag = " [baselined]" if finding.baselined else ""
+        print(
+            "%s:%d:%d: %s %s%s"
+            % (finding.path, finding.line, finding.col, finding.code,
+               finding.message, tag),
+            file=out,
+        )
+    for fingerprint in stale:
+        print("stale baseline entry: %s" % fingerprint, file=out)
+    print(
+        "simlint: %d finding(s): %d new, %d baselined, %d suppressed "
+        "in-code%s"
+        % (len(findings), len(new), len(findings) - len(new), suppressed,
+           ", %d stale baseline entr(ies)" % len(stale) if stale else ""),
+        file=out,
+    )
+
+
+def _report_json(findings, new, stale, suppressed, out):
+    by_code = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "simlint",
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": len(findings) - len(new),
+            "suppressed": suppressed,
+            "by_code": dict(sorted(by_code.items())),
+            "stale_baseline_entries": stale,
+        },
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = _parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print("%s  %s" % (rule.code, rule.title), file=out)
+        return 0
+    if args.explain:
+        for rule in rules:
+            if rule.code == args.explain:
+                doc = (type(rule).__doc__ or "").strip()
+                print("%s: %s\n\n%s" % (rule.code, rule.title, doc), file=out)
+                return 0
+        print("unknown rule code: %s" % args.explain, file=sys.stderr)
+        return 2
+    selected = None
+    if args.select:
+        selected = {code.strip() for code in args.select.split(",")
+                    if code.strip()}
+    try:
+        findings, suppressed = run_rules(args.paths, rules, selected)
+        baseline_file = _baseline_path(args)
+        if args.write_baseline:
+            if baseline_file is None:
+                raise LintUsageError(
+                    "--write-baseline conflicts with --no-baseline"
+                )
+            payload = baseline_payload(findings)
+            baseline_file.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(
+                "wrote %s: %d finding(s) baselined"
+                % (baseline_file, payload["counts"]["total"]),
+                file=out,
+            )
+            return 0
+        if baseline_file is not None:
+            baseline = load_baseline(baseline_file)
+            new, stale = apply_baseline(findings, baseline)
+        else:
+            new, stale = findings, []
+    except LintUsageError as exc:
+        print("simlint: error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _report_json(findings, new, stale, suppressed, out)
+    else:
+        _report_text(findings, new, stale, suppressed, out)
+    return 1 if new else 0

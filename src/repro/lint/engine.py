@@ -1,0 +1,316 @@
+"""The simlint rule engine: parsing, scoping, suppressions, baselines.
+
+simlint is an AST-based static checker for this repository's own
+invariants -- the contracts that golden traces, checkpoint/replay and the
+instrumentation hub rely on but that ordinary linters cannot see
+(``docs/static-analysis.md`` documents every rule).  The engine is
+deliberately small:
+
+- Each rule is a :class:`Rule` subclass with a stable code (``SL1xx``
+  determinism, ``SL2xx`` checkpoint coverage, ``SL3xx`` instrumentation
+  hygiene, ``SL4xx`` callback safety), a one-line title, and a
+  ``check(module)`` generator yielding :class:`Finding` objects.
+- Rules declare a *scope*: ``"sim"`` rules only run on files under
+  ``src/repro`` (simulation code), ``"all"`` rules run everywhere.  A
+  fixture file can opt into a scope with a ``# simlint: scope=sim``
+  pragma in its first lines, which is how the test corpus under
+  ``tests/lint_fixtures/`` exercises sim-scoped rules.
+- Findings are suppressed in code with ``# simlint: ignore[SL104]`` --
+  trailing on the finding's anchor line, or on a comment-only line
+  directly above it (the comment then applies to the next code line).
+  Several codes: ``ignore[SL104,SL201]``; bare ``# simlint: ignore``
+  suppresses every code.  ``# simlint: ignore-file[SLnnn]`` in the first
+  20 lines suppresses for the whole file.  Suppressions are the in-code
+  escape hatch for *deliberate* exceptions and should carry a
+  justification in the same comment.
+- A checked-in JSON *baseline* (``LINT_baseline.json``) absorbs known
+  findings so the CI gate is "zero NEW findings", not "zero findings":
+  a finding whose fingerprint (path + code + message) is in the baseline
+  with sufficient count is reported as baselined, not new.
+"""
+
+import ast
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "LINT_baseline.json"
+
+# Directories never walked into: caches, and the lint fixture corpus
+# (fixture files are deliberate rule violations; tests lint them by
+# explicit path).
+_SKIP_DIR_NAMES = {"__pycache__", "lint_fixtures", ".git"}
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*simlint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+_SCOPE_RE = re.compile(r"#\s*simlint:\s*scope=(\w+)")
+
+
+class LintUsageError(Exception):
+    """Bad invocation (unknown rule code, unreadable path); CLI exit 2."""
+
+
+class Finding:
+    """One rule violation anchored to a source line."""
+
+    __slots__ = ("code", "path", "line", "col", "message", "baselined")
+
+    def __init__(self, code, path, line, col, message):
+        self.code = code
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        self.baselined = False
+
+    @property
+    def fingerprint(self):
+        """Line-independent identity used for baseline matching.
+
+        Excluding the line number keeps the baseline stable across
+        unrelated edits above the finding.
+        """
+        return "%s::%s::%s" % (self.path, self.code, self.message)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def __repr__(self):
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.code, self.message
+        )
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set ``code``, ``title`` and ``scope``, and implement
+    :meth:`check` as a generator over :class:`Finding`.  The class
+    docstring is the rule's long-form documentation (``--explain``).
+    """
+
+    code = "SL000"
+    title = ""
+    scope = "sim"  # "sim" (src/repro only) or "all"
+    skip_path_suffixes = ()  # posix path suffixes this rule never checks
+
+    def applies_to(self, module):
+        if self.scope == "sim" and module.scope != "sim":
+            return False
+        return not any(
+            module.path.endswith(suffix) for suffix in self.skip_path_suffixes
+        )
+
+    def check(self, module):
+        raise NotImplementedError
+
+    def finding(self, module, node, message):
+        return Finding(
+            self.code, module.path,
+            getattr(node, "lineno", 1), getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+class ParsedModule:
+    """One parsed source file plus its suppression and scope pragmas."""
+
+    def __init__(self, path, source):
+        self.path = path  # posix-style, as given on the command line
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = {}  # line -> set of codes, or {"*"}
+        self.file_suppressions = set()
+        self.scope = self._infer_scope(path)
+        self._scan_pragmas(source)
+
+    @staticmethod
+    def _infer_scope(path):
+        posix = path.replace("\\", "/")
+        if "src/repro/" in posix or posix.startswith("repro/"):
+            return "sim"
+        return "other"
+
+    def _scan_pragmas(self, source):
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:
+            comments = [
+                (number, line)
+                for number, line in enumerate(source.splitlines(), 1)
+                if "#" in line
+            ]
+        lines = source.splitlines()
+        for line_number, comment in comments:
+            match = _SUPPRESS_FILE_RE.search(comment)
+            if match and line_number <= 20:
+                self.file_suppressions.update(_codes(match.group(1)))
+                continue
+            match = _SUPPRESS_RE.search(comment)
+            if match:
+                codes = _codes(match.group(1)) if match.group(1) else {"*"}
+                anchor = self._anchor_line(lines, line_number)
+                self.suppressions.setdefault(anchor, set()).update(codes)
+            match = _SCOPE_RE.search(comment)
+            if match and line_number <= 20:
+                self.scope = match.group(1)
+
+    @staticmethod
+    def _anchor_line(lines, line_number):
+        """The line an ignore comment applies to.
+
+        A trailing comment anchors to its own line; a comment-only line
+        anchors to the next code line below it (skipping blank and
+        comment lines), so a justification can sit above the statement.
+        """
+        if not lines[line_number - 1].lstrip().startswith("#"):
+            return line_number
+        for offset in range(line_number, len(lines)):
+            stripped = lines[offset].strip()
+            if stripped and not stripped.startswith("#"):
+                return offset + 1
+        return line_number
+
+    def is_suppressed(self, finding):
+        if finding.code in self.file_suppressions:
+            return True
+        codes = self.suppressions.get(finding.line)
+        return bool(codes) and ("*" in codes or finding.code in codes)
+
+
+def _codes(spec):
+    return {code.strip() for code in spec.split(",") if code.strip()}
+
+
+# -- running ------------------------------------------------------------------
+
+
+def iter_python_files(paths):
+    """Expand files/directories into .py files, skipping caches/fixtures."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIR_NAMES.intersection(candidate.parts):
+                    yield candidate
+        else:
+            raise LintUsageError("no such file or directory: %s" % raw)
+
+
+def run_rules(paths, rules, selected_codes=None):
+    """Lint ``paths`` with ``rules``; returns (findings, suppressed_count).
+
+    Findings are sorted by (path, line, col, code); suppressed findings
+    are dropped and only counted.  Unparseable files produce an ``SL000``
+    finding instead of crashing the run (a syntax error is a finding).
+    """
+    if selected_codes:
+        known = {rule.code for rule in rules}
+        unknown = set(selected_codes) - known
+        if unknown:
+            raise LintUsageError(
+                "unknown rule code(s): %s" % ", ".join(sorted(unknown))
+            )
+        rules = [rule for rule in rules if rule.code in selected_codes]
+    findings = []
+    suppressed = 0
+    for file_path in iter_python_files(paths):
+        posix = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ParsedModule(posix, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding("SL000", posix, line, 0, "unparseable: %s" % exc)
+            )
+            continue
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def baseline_payload(findings):
+    """The JSON document recording current findings as accepted debt."""
+    counts = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    by_code = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    return {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "counts": {
+            "total": len(findings),
+            "by_code": dict(sorted(by_code.items())),
+        },
+        "findings": dict(sorted(counts.items())),
+    }
+
+
+def load_baseline(path):
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise LintUsageError("cannot read baseline %s: %s" % (path, exc))
+    if payload.get("version") != BASELINE_VERSION:
+        raise LintUsageError(
+            "baseline %s has version %r, expected %d"
+            % (path, payload.get("version"), BASELINE_VERSION)
+        )
+    return payload
+
+
+def apply_baseline(findings, baseline):
+    """Mark findings covered by the baseline; returns (new, stale).
+
+    ``new`` is the list of findings exceeding the baselined count for
+    their fingerprint; ``stale`` is the list of baseline fingerprints no
+    longer observed at all (candidates for a baseline refresh).
+    """
+    budget = dict(baseline.get("findings", {}))
+    new = []
+    seen = set()
+    for finding in findings:
+        seen.add(finding.fingerprint)
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+            finding.baselined = True
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint in baseline.get("findings", {})
+        if fingerprint not in seen
+    )
+    return new, stale

@@ -1,0 +1,26 @@
+"""The rule registry: every shipped simlint rule, in code order.
+
+Adding a rule (the full recipe is in docs/static-analysis.md):
+subclass :class:`repro.lint.engine.Rule` in the appropriate
+``rules_*`` module, append the instance to that module's ``RULES``
+tuple, add a good/bad fixture pair under ``tests/lint_fixtures/`` and a
+row to the rule table in the docs.
+"""
+
+from repro.lint import (
+    rules_callback,
+    rules_ckpt,
+    rules_determinism,
+    rules_instrument,
+)
+
+
+def all_rules():
+    """Every registered rule, sorted by code."""
+    rules = (
+        rules_determinism.RULES
+        + rules_ckpt.RULES
+        + rules_instrument.RULES
+        + rules_callback.RULES
+    )
+    return sorted(rules, key=lambda rule: rule.code)

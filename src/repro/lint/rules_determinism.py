@@ -1,0 +1,392 @@
+"""SL1xx: determinism rules.
+
+Simulation results in this repository are pinned bit-for-bit by golden
+traces and the checkpoint divergence detector; any dependence on wall
+clocks, entropy sources, hash order or object identity order silently
+shifts those traces.  These rules flag the constructs that introduce
+such dependence in sim code (everything under ``src/repro``).
+"""
+
+import ast
+
+from repro.lint.astutil import (
+    dotted_name,
+    import_aliases,
+    resolved_call_name,
+    self_attr,
+)
+from repro.lint.engine import Rule
+
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENTROPY_CALLS = {
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+}
+
+_ENTROPY_MODULES = {"secrets"}
+
+# Iteration contexts: calling one of these on a set materializes its
+# (hash-ordered) iteration order.  sorted()/min()/max()/len()/sum() and
+# membership tests are order-independent and deliberately absent.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+class RandomModuleRule(Rule):
+    """SL101: the ``random`` module is off-limits in sim code.
+
+    Even seeded, module-level ``random`` is process-global state that any
+    import can perturb; deterministic workloads must derive pseudo-random
+    streams from explicit per-component counters or hash-free generators
+    they own.  Flags ``import random`` and ``from random import ...``.
+    """
+
+    code = "SL101"
+    title = "random module used in sim code"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            module, node,
+                            "import of the random module; sim code must be "
+                            "deterministic (derive pseudo-randomness from "
+                            "owned, explicitly-seeded state)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        module, node,
+                        "import from the random module; sim code must be "
+                        "deterministic",
+                    )
+
+
+class WallClockRule(Rule):
+    """SL102: wall-clock reads leak host time into simulated time.
+
+    ``time.time()``, ``time.perf_counter()``, ``datetime.now()`` and
+    friends differ between runs; simulation code must read time only
+    from ``sim.now``.  (Benchmarks live outside ``src/repro`` and may
+    measure wall time freely.)
+    """
+
+    code = "SL102"
+    title = "wall-clock read in sim code"
+
+    def check(self, module):
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolved_call_name(node, aliases)
+            if name in _WALL_CLOCK_CALLS or (
+                name is not None
+                and any(name.endswith("." + c) for c in _WALL_CLOCK_CALLS)
+            ):
+                yield self.finding(
+                    module, node,
+                    "wall-clock call %s(); sim code must take time from "
+                    "sim.now" % name,
+                )
+
+
+class EntropyRule(Rule):
+    """SL103: OS entropy sources make runs unreproducible.
+
+    ``os.urandom``, ``uuid.uuid1/uuid4`` and anything from ``secrets``
+    produce different values every run, so no golden trace can pin a
+    path that consumes them.
+    """
+
+    code = "SL103"
+    title = "entropy source in sim code"
+
+    def check(self, module):
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [alias.name for alias in node.names]
+                    if isinstance(node, ast.Import)
+                    else [node.module or ""]
+                )
+                for name in names:
+                    if name.split(".")[0] in _ENTROPY_MODULES:
+                        yield self.finding(
+                            module, node,
+                            "import of entropy module %r in sim code" % name,
+                        )
+            elif isinstance(node, ast.Call):
+                name = resolved_call_name(node, aliases)
+                if name in _ENTROPY_CALLS or (
+                    name is not None
+                    and any(name.endswith("." + c) for c in _ENTROPY_CALLS)
+                ):
+                    yield self.finding(
+                        module, node,
+                        "entropy source %s(); runs would not be "
+                        "reproducible" % name,
+                    )
+
+
+class _SetValueTracker:
+    """Static approximation of which expressions are sets.
+
+    Tracks, per module: class attributes assigned set values anywhere in
+    the class (``self.ready = set()``), class attributes used as
+    dict-of-sets (``self.index.setdefault(k, set())`` or
+    ``self.index[k] = set(...)``), and function-local names bound to set
+    values.
+    """
+
+    def __init__(self, tree):
+        self.set_attrs = {}  # class name -> set of attr names
+        self.dict_of_set_attrs = {}  # class name -> set of attr names
+        self.local_sets = {}  # FunctionDef node -> set of local names
+        for class_node in ast.walk(tree):
+            if isinstance(class_node, ast.ClassDef):
+                self._scan_class(class_node)
+        for func in ast.walk(tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.local_sets[func] = self._scan_locals(func)
+
+    def _scan_class(self, class_node):
+        attrs = self.set_attrs.setdefault(class_node.name, set())
+        dict_attrs = self.dict_of_set_attrs.setdefault(class_node.name, set())
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = self_attr(target)
+                    if attr and _is_set_expr(node.value, None, None):
+                        attrs.add(attr)
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and self_attr(target.value)
+                        and _is_set_expr(node.value, None, None)
+                    ):
+                        dict_attrs.add(self_attr(target.value))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setdefault"
+                    and self_attr(func.value)
+                    and len(node.args) == 2
+                    and _is_set_expr(node.args[1], None, None)
+                ):
+                    dict_attrs.add(self_attr(func.value))
+
+    @staticmethod
+    def _scan_locals(func):
+        names = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_set_expr(
+                    node.value, None, None
+                ):
+                    names.add(target.id)
+        return names
+
+
+def _is_set_expr(node, tracker, func):
+    """True if ``node`` statically looks like a set (or dict-of-sets read).
+
+    With ``tracker``/``func`` provided, attribute and local-name reads
+    resolve through the tracked assignments; without them only direct
+    constructions count.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, tracker, func) or _is_set_expr(
+            node.right, tracker, func
+        )
+    if tracker is None:
+        return False
+    all_set_attrs = set().union(*tracker.set_attrs.values()) \
+        if tracker.set_attrs else set()
+    all_dict_attrs = set().union(*tracker.dict_of_set_attrs.values()) \
+        if tracker.dict_of_set_attrs else set()
+    attr = self_attr(node)
+    if attr and attr in all_set_attrs:
+        return True
+    if isinstance(node, ast.Name) and func is not None:
+        if node.id in tracker.local_sets.get(func, ()):
+            return True
+    # Reads out of a dict-of-sets: self.index[k] or self.index.get(k, ...)
+    if isinstance(node, ast.Subscript):
+        attr = self_attr(node.value)
+        if attr and attr in all_dict_attrs:
+            return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+    ):
+        attr = self_attr(node.func.value)
+        if attr and attr in all_dict_attrs:
+            return True
+    return False
+
+
+class SetIterationRule(Rule):
+    """SL104: iterating a set exposes hash order.
+
+    ``for x in some_set``, ``list(some_set)`` and friends yield elements
+    in hash order, which depends on insertion history (and, for strings,
+    on ``PYTHONHASHSEED``).  Sim code must wrap set iteration in
+    ``sorted(...)`` or keep an explicitly ordered container.  Detected
+    set expressions: literals, ``set()`` calls, set operators, class
+    attributes assigned sets, and reads out of dict-of-sets attributes
+    (``self.index[k]`` / ``.get(k)`` where values are sets).
+    """
+
+    code = "SL104"
+    title = "unordered set iteration in sim code"
+
+    def check(self, module):
+        tracker = _SetValueTracker(module.tree)
+        funcs = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen = set()
+        for func in funcs + [None]:
+            root = func if func is not None else module.tree
+            for node in ast.walk(root):
+                if id(node) in seen:
+                    continue
+                target = None
+                if isinstance(node, ast.For):
+                    target = node.iter
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                       ast.DictComp, ast.SetComp)):
+                    target = node.generators[0].iter
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    target = node.args[0]
+                if target is not None and _is_set_expr(target, tracker, func):
+                    seen.add(id(node))
+                    yield self.finding(
+                        module, node,
+                        "iteration over a set exposes hash order; wrap in "
+                        "sorted(...) or use an ordered container",
+                    )
+
+
+class IdentityOrderRule(Rule):
+    """SL105: ordering by object identity varies between runs.
+
+    ``id()`` values depend on allocation addresses.  Using them as sort
+    keys, or iterating a dict keyed by ``id(...)`` (the iteration order
+    replays allocation history), makes ordering unreproducible across
+    processes -- exactly what checkpoint replay forbids.  Lookups into an
+    identity-keyed dict are fine; only ordering is flagged.
+    """
+
+    code = "SL105"
+    title = "id()-dependent ordering in sim code"
+
+    def check(self, module):
+        id_keyed = self._id_keyed_attrs(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in {"sorted", "min", "max"}:
+                    for keyword in node.keywords:
+                        if keyword.arg == "key" and self._mentions_id(
+                            keyword.value
+                        ):
+                            yield self.finding(
+                                module, node,
+                                "%s() keyed on id(); identity order differs "
+                                "between runs" % name,
+                            )
+            target = None
+            if isinstance(node, ast.For):
+                target = node.iter
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                target = node.generators[0].iter
+            if target is None:
+                continue
+            attr = self._dict_view_attr(target)
+            if attr and attr in id_keyed:
+                yield self.finding(
+                    module, node,
+                    "iteration over identity-keyed dict self.%s; order "
+                    "replays allocation history (sort the result or re-key "
+                    "by a stable id)" % attr,
+                )
+
+    @staticmethod
+    def _mentions_id(node):
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "id"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _id_keyed_attrs(tree):
+        """Attributes used as dicts with id(...)-bearing keys."""
+        attrs = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = self_attr(target.value)
+                        if attr and IdentityOrderRule._mentions_id(
+                            target.slice
+                        ):
+                            attrs.add(attr)
+        return attrs
+
+    @staticmethod
+    def _dict_view_attr(node):
+        """self.X for ``self.X.items()/keys()/values()`` or bare ``self.X``
+        when X is known -- caller filters against the id-keyed set."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"items", "keys", "values"}
+        ):
+            return self_attr(node.func.value)
+        return self_attr(node)
+
+
+RULES = (
+    RandomModuleRule(),
+    WallClockRule(),
+    EntropyRule(),
+    SetIterationRule(),
+    IdentityOrderRule(),
+)

@@ -36,6 +36,8 @@ class ShrimpSystem:
         # CpuWorker workloads register here so SystemCheckpoint can capture
         # their programs, contexts and pending instruction-boundary resumes.
         self.ckpt_workers = []
+        # simlint: ignore[SL201] start-once latch; restore targets a
+        # freshly built (already started) system, never a pickled one
         self._started = False
 
     @property

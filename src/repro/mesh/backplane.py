@@ -30,6 +30,7 @@ class Backplane:
         self.instr = Instrumentation.of(sim)
         self.packets_delivered = self.instr.counter(name + ".delivered")
         self._build()
+        # simlint: ignore[SL201] start-once latch (wiring, not state)
         self._started = False
 
     # -- geometry ------------------------------------------------------------

@@ -35,6 +35,16 @@ class NicError(Exception):
     """Raised for illegal NIC configuration."""
 
 
+# Datapath stage -> event kind, kept literal so the event vocabulary in
+# docs/observability.md stays statically auditable (simlint SL303).
+_STAGE_EVENT_KINDS = {
+    "packetized": "nic.packetized",
+    "injected": "nic.injected",
+    "accepted": "nic.accepted",
+    "delivered": "nic.delivered",
+}
+
+
 class _CommandDevice(BusDevice):
     """The command-memory bus target (paper section 4.2).
 
@@ -110,6 +120,8 @@ class NetworkInterface:
         self.arrival_signal = Signal(sim, self.name + ".arrival")
 
         self._merge = None
+        # simlint: ignore[SL201] wiring: attach_cpu is part of node
+        # construction; the Cpu checkpoints itself
         self.cpu = None
         # Optional datapath instrumentation: stage_hook(stage, packet, now)
         # is called at "packetized", "injected", "accepted", "delivered".
@@ -135,6 +147,7 @@ class NetworkInterface:
             address_map.command_base + address_map.dram_bytes,
             self.command_device,
         )
+        # simlint: ignore[SL201] start-once latch (wiring, not state)
         self._started = False
 
     # -- lifecycle --------------------------------------------------------------
@@ -462,7 +475,7 @@ class NetworkInterface:
             self.stage_hook(stage, packet, self.sim.now)
         hub = self.instr
         if hub.active:
-            hub.emit(self.name, "nic." + stage, packet=packet,
+            hub.emit(self.name, _STAGE_EVENT_KINDS[stage], packet=packet,
                      dest_addr=packet.dest_addr, words=len(packet.payload))
 
     def _post_cpu_interrupt(self, cause):

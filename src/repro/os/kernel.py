@@ -110,7 +110,10 @@ class Kernel:
         self._next_id = 1
         self._rpc_seq = 0
         self._pending_rpcs = {}  # seq -> [Signal, reply words or None]
-        self._swap = {}  # (address-space id, vpage) -> page bytes
+        # Keyed by the page-table *object* (the address space owns its
+        # swapped pages -- tables can be shared between processes), never
+        # by id(): ids are reused after garbage collection.
+        self._swap = {}  # (page table, vpage) -> page bytes
         self.kernel_instructions = 0
         self.instr = Instrumentation.of(self.sim)
         prefix = node.name + ".kernel"
@@ -125,6 +128,7 @@ class Kernel:
         )
         node.cpu.syscall_handler = self._syscall_handler
         node.cpu.fault_handler = self._fault_handler
+        # simlint: ignore[SL201] start-once latch (wiring, not state)
         self._started = False
 
     # -- identifiers ------------------------------------------------------------
@@ -206,7 +210,7 @@ class Kernel:
             process.page_table.unmap_page(vpage)
         self._swap = {
             key: data for key, data in self._swap.items()
-            if key[0] != id(process.page_table)
+            if key[0] is not process.page_table
         }
         self.processes.pop(process.pid, None)
 
@@ -598,7 +602,9 @@ class Kernel:
         pte = process.page_table.entry(vpage)
         if pte is None or not pte.present:
             raise KernelError("evicting unmapped vpage %d" % vpage)
-        import_ids = list(self._imports_by_page.get(pte.ppage, ()))
+        # Sorted: _imports_by_page holds sets, and the RPC order here is
+        # externally visible timing (one INVALIDATE round-trip per import).
+        import_ids = sorted(self._imports_by_page.get(pte.ppage, ()))
         if import_ids:
             if self.params.consistency_policy == "pin":
                 raise KernelError(
@@ -619,7 +625,7 @@ class Kernel:
         self.node.nic.nipt.unmap_out(pte.ppage)
         yield from self._charge(self.params.page_io_instructions)
         yield from self.node.cache.flush_page(pte.ppage * PAGE_SIZE, PAGE_SIZE)
-        self._swap[(id(process.page_table), vpage)] = self.node.memory.dump_bytes(
+        self._swap[(process.page_table, vpage)] = self.node.memory.dump_bytes(
             pte.ppage * PAGE_SIZE, PAGE_SIZE
         )
         self.free_page(pte.ppage)
@@ -660,7 +666,7 @@ class Kernel:
         if pte is None:
             raise KernelError("page-in of unmapped vpage %d" % vpage)
         yield from self._charge(self.params.page_io_instructions)
-        data = self._swap.pop((id(process.page_table), vpage), None)
+        data = self._swap.pop((process.page_table, vpage), None)
         pte.ppage = self.alloc_page()
         pte.present = True
         if data is not None:
@@ -682,7 +688,7 @@ class Kernel:
     def ckpt_capture(self):
         """Kernel tables, processes and swap.
 
-        ``_swap`` is keyed by ``(id(page_table), vpage)`` in memory; the
+        ``_swap`` is keyed by ``(page_table, vpage)`` in memory; the
         capture re-keys by ``(pid, vpage)``, which survives serialization.
         Mapping-record halves are serialized by value; the restore re-links
         them to the NIPT's half objects (they share identity) by field
@@ -698,16 +704,14 @@ class Kernel:
         from repro.ckpt.protocol import pairs
 
         table_pid = {
-            id(process.page_table): pid
+            process.page_table: pid
             for pid, process in self.processes.items()
         }
-        swap = []
-        for (table_id, vpage), data in self._swap.items():
-            pid = table_pid.get(table_id)
-            if pid is None:
-                continue  # reaped process; its swap slots are dead
-            swap.append([pid, vpage, data.hex()])
-        swap.sort()
+        swap = sorted(
+            [table_pid[table], vpage, data.hex()]
+            for (table, vpage), data in self._swap.items()
+            if table in table_pid  # reaped process: its swap slots are dead
+        )
         return {
             "free_pages": list(self._free_pages),
             "next_pid": self._next_pid,
@@ -826,9 +830,7 @@ class Kernel:
             process = self.processes.get(pid)
             if process is None:
                 raise CkptError("swap slot references unknown pid %d" % pid)
-            self._swap[(id(process.page_table), vpage)] = bytes.fromhex(
-                hexdata
-            )
+            self._swap[(process.page_table, vpage)] = bytes.fromhex(hexdata)
         self.kernel_instructions = state["kernel_instructions"]
 
     def _relink_half(self, record, src_vpage, half_state):

@@ -26,6 +26,8 @@ class RoundRobinScheduler:
         self.timeslice_ns = timeslice_ns or kernel.params.timeslice_ns
         self._run_queue = deque()
         self.context_switches = 0
+        # simlint: ignore[SL201] live Process handle created by start();
+        # the driver's position is recovered from the captured run queue
         self._driver = None
 
     def add(self, process):

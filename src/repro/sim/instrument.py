@@ -164,14 +164,19 @@ class Instrumentation:
         # True iff at least one event consumer exists.  Producers guard
         # emission with this single attribute check; it is the whole cost
         # of the event bus when instrumentation is off.
-        self.active = False
+        # Observer configuration and output are deliberately outside the
+        # checkpoint: the hub captures *metric* state only, and a restored
+        # run re-attaches its own consumers (see docs/checkpoint.md).
+        self.active = False  # simlint: ignore[SL201] observer wiring
         self._metrics = {}  # name -> (kind, metric object or probe callable)
-        self._collecting = False
-        self._only_kinds = None
-        self._limit = None
-        self._records = []
+        self._collecting = False  # simlint: ignore[SL201] observer wiring
+        self._only_kinds = None  # simlint: ignore[SL201] observer wiring
+        self._limit = None  # simlint: ignore[SL201] observer wiring
+        self._records = []  # simlint: ignore[SL201] observer output
+        # simlint: ignore[SL201] observer output
         self._by_kind = {}  # kind -> [Event], same objects as _records
-        self.dropped = 0
+        self.dropped = 0  # simlint: ignore[SL201] observer output
+        # simlint: ignore[SL201] observer wiring (live callables)
         self._subscribers = []  # (kinds or None, callback)
 
     @classmethod

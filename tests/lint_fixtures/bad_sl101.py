@@ -1,0 +1,8 @@
+# simlint: scope=sim
+"""SL101: module-level random is process-global, unseeded state."""
+
+import random
+
+
+def jitter(limit):
+    return random.randrange(limit)

@@ -1,0 +1,9 @@
+# simlint: scope=sim
+"""SL102: wall-clock reads leak host time into the simulation."""
+
+import time
+
+
+def stamp(record):
+    record["at"] = time.time()
+    return record

@@ -1,0 +1,8 @@
+# simlint: scope=sim
+"""SL103: OS entropy makes runs unreproducible."""
+
+import os
+
+
+def fresh_tag():
+    return os.urandom(4).hex()

@@ -1,0 +1,22 @@
+# simlint: scope=sim
+"""SL104: iterating a set exposes hash order."""
+
+
+class WaitQueue:
+    def __init__(self):
+        self.ready = set()
+        self.by_page = {}
+
+    def wake(self, pid):
+        self.ready.add(pid)
+
+    def drain(self):
+        for pid in self.ready:
+            yield pid
+
+    def snapshot(self):
+        return list(self.ready)
+
+    def importers(self, page):
+        self.by_page.setdefault(page, set())
+        return [i for i in self.by_page[page]]

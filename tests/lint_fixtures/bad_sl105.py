@@ -1,0 +1,16 @@
+# simlint: scope=sim
+"""SL105: object-identity ordering replays allocation history."""
+
+
+class Directory:
+    def __init__(self):
+        self._by_table = {}
+
+    def record(self, table, page):
+        self._by_table[(id(table), page)] = page
+
+    def pages(self):
+        return [page for key, page in self._by_table.items()]
+
+    def stable_order(self, tables):
+        return sorted(tables, key=id)

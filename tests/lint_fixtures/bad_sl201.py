@@ -1,0 +1,17 @@
+# simlint: scope=sim
+"""SL201: a mutable attribute drifts out of the checkpoint."""
+
+
+class Fifo:
+    def __init__(self, sim):
+        self.sim = sim
+        self._ticks = 0
+
+    def tick(self):
+        self._ticks += 1
+
+    def ckpt_capture(self):
+        return {}
+
+    def ckpt_restore(self, state):
+        pass

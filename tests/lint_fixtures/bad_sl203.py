@@ -1,0 +1,17 @@
+# simlint: scope=sim
+"""SL203: restore reads a key capture never writes (KeyError at the
+first real checkpoint -- the renamed-capture-key drift)."""
+
+
+class Meter:
+    def __init__(self):
+        self.total = 0
+
+    def bump(self):
+        self.total += 1
+
+    def ckpt_capture(self):
+        return {"total": self.total}
+
+    def ckpt_restore(self, state):
+        self.total = state["total"] + state["carried"]

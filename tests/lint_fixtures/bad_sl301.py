@@ -1,0 +1,11 @@
+# simlint: scope=sim
+"""SL301: metric primitives built outside the instrumentation hub are
+invisible to snapshots, checkpoints and the registry."""
+
+from repro.sim.trace import Counter
+
+
+class Device:
+    def __init__(self, sim):
+        self.sim = sim
+        self.puts = Counter()

@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL302: metric names must be grammatical and end in a literal leaf."""
+
+from repro.sim.instrument import Instrumentation
+
+
+class Device:
+    def __init__(self, sim, name, kind):
+        self.sim = sim
+        self.name = name
+        self.instr = Instrumentation.of(sim)
+        # Uppercase segment: violates the lowercase dotted grammar.
+        self.puts = self.instr.counter(self.name + ".PUTS")
+        # Dynamic leaf: nothing literal for analysis code to grep for.
+        self.gets = self.instr.counter(self.name + "." + kind)

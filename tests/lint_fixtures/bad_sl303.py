@@ -1,0 +1,16 @@
+# simlint: scope=sim
+"""SL303: computed event kinds cannot be audited against the
+docs/observability.md vocabulary."""
+
+from repro.sim.instrument import Instrumentation
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def stage(self, which, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, "nic." + which, packet=packet)

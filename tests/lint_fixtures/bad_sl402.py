@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL402: blocking host I/O inside a callback stalls the engine."""
+
+import time
+
+
+class Throttle:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def arm(self):
+        self.sim.schedule(10, self._pace)
+
+    def _pace(self):
+        time.sleep(0.01)

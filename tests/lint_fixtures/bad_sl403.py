@@ -1,0 +1,13 @@
+# simlint: scope=sim
+"""SL403: the clock and sequence counter belong to the run loop."""
+
+
+class SkipAhead:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def arm(self):
+        self.sim.schedule(5, self._jump)
+
+    def _jump(self):
+        self.sim._now += 1000

@@ -1,0 +1,13 @@
+# simlint: scope=sim
+"""SL101 pass: pseudo-randomness from owned, explicitly-seeded state."""
+
+
+class Lcg:
+    """A tiny linear congruential generator the component owns."""
+
+    def __init__(self, seed):
+        self.state = seed
+
+    def next(self, limit):
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state % limit

@@ -1,0 +1,7 @@
+# simlint: scope=sim
+"""SL102 pass: simulation code takes time from sim.now only."""
+
+
+def stamp(sim, record):
+    record["at"] = sim.now
+    return record

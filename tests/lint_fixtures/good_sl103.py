@@ -1,0 +1,13 @@
+# simlint: scope=sim
+"""SL103 pass: identifiers derive from owned counters, not entropy."""
+
+
+class TagAllocator:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.next_tag = 0
+
+    def fresh_tag(self):
+        tag = (self.node_id << 20) | self.next_tag
+        self.next_tag += 1
+        return tag

@@ -1,0 +1,26 @@
+# simlint: scope=sim
+"""SL104 pass: set iteration goes through sorted(); membership and
+size checks are order-independent and allowed."""
+
+
+class WaitQueue:
+    def __init__(self):
+        self.ready = set()
+        self.by_page = {}
+
+    def wake(self, pid):
+        self.ready.add(pid)
+
+    def drain(self):
+        for pid in sorted(self.ready):
+            yield pid
+
+    def snapshot(self):
+        return sorted(self.ready)
+
+    def is_ready(self, pid):
+        return pid in self.ready and len(self.ready) > 0
+
+    def importers(self, page):
+        self.by_page.setdefault(page, set())
+        return sorted(self.by_page[page])

@@ -1,0 +1,19 @@
+# simlint: scope=sim
+"""SL105 pass: key by a stable identifier (pid), order by stable keys.
+
+Lookups into an identity-keyed dict are not flagged -- only ordering.
+"""
+
+
+class Directory:
+    def __init__(self):
+        self._by_pid = {}
+
+    def record(self, pid, page):
+        self._by_pid[(pid, page)] = page
+
+    def pages(self):
+        return sorted(page for key, page in self._by_pid.items())
+
+    def stable_order(self, processes):
+        return sorted(processes, key=lambda process: process.pid)

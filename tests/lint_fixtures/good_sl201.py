@@ -1,0 +1,17 @@
+# simlint: scope=sim
+"""SL201 pass: every mutable attribute is captured and restored."""
+
+
+class Fifo:
+    def __init__(self, sim):
+        self.sim = sim
+        self._ticks = 0
+
+    def tick(self):
+        self._ticks += 1
+
+    def ckpt_capture(self):
+        return {"ticks": self._ticks}
+
+    def ckpt_restore(self, state):
+        self._ticks = state["ticks"]

@@ -1,0 +1,21 @@
+# simlint: scope=sim
+"""SL202 pass: restore consumes exactly what capture produces."""
+
+
+class Counter:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def hit(self):
+        self.hits += 1
+
+    def miss(self):
+        self.misses += 1
+
+    def ckpt_capture(self):
+        return {"hits": self.hits, "misses": self.misses}
+
+    def ckpt_restore(self, state):
+        self.hits = state["hits"]
+        self.misses = state["misses"]

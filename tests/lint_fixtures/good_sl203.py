@@ -1,0 +1,16 @@
+# simlint: scope=sim
+"""SL203 pass: restore reads only keys the capture writes."""
+
+
+class Meter:
+    def __init__(self):
+        self.total = 0
+
+    def bump(self):
+        self.total += 1
+
+    def ckpt_capture(self):
+        return {"total": self.total}
+
+    def ckpt_restore(self, state):
+        self.total = state["total"]

@@ -1,0 +1,12 @@
+# simlint: scope=sim
+"""SL301 pass: metrics register through the per-simulator hub."""
+
+from repro.sim.instrument import Instrumentation
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.instr = Instrumentation.of(sim)
+        self.puts = self.instr.counter(self.name + ".puts")

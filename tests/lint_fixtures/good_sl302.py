@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL302 pass: literal names and the owner-prefix + literal-leaf idiom."""
+
+from repro.sim.instrument import Instrumentation
+
+
+class Device:
+    def __init__(self, sim, name, x, y):
+        self.sim = sim
+        self.name = name
+        self.instr = Instrumentation.of(sim)
+        self.puts = self.instr.counter(self.name + ".puts")
+        self.gets = self.instr.counter("node0.device.gets")
+        # %-formatted coordinates keep a literal skeleton and leaf.
+        self.flits = self.instr.counter("router(%d,%d).flits" % (x, y))

@@ -1,0 +1,27 @@
+# simlint: scope=sim
+"""SL303 pass: literal kinds, module constants, and literal tables."""
+
+from repro.sim.instrument import Instrumentation
+
+_DROP_KIND = "nic.dropped"
+
+_STAGE_KINDS = {
+    "injected": "nic.injected",
+    "delivered": "nic.delivered",
+}
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def stage(self, which, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, _STAGE_KINDS[which], packet=packet)
+
+    def drop(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, _DROP_KIND, packet=packet)
+            self.hub.emit(self.name, "nic.requeued", packet=packet)

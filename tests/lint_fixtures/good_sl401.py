@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL401 pass: callbacks advance the world by scheduling more events."""
+
+
+class Watchdog:
+    def __init__(self, sim):
+        self.sim = sim
+        self.fired = 0
+
+    def arm(self):
+        self.sim.schedule(1000, self._fire)
+
+    def _fire(self):
+        self.fired += 1
+        self.sim.schedule(1000, self._fire)

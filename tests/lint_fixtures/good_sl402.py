@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL402 pass: pacing is expressed in simulated time, not host time."""
+
+
+class Throttle:
+    def __init__(self, sim):
+        self.sim = sim
+        self.paced = 0
+
+    def arm(self):
+        self.sim.schedule(10, self._pace)
+
+    def _pace(self):
+        self.paced += 1
+        self.sim.schedule(10_000, self._pace)

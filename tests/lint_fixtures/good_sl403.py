@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""SL403 pass: callbacks read the clock; only the run loop writes it."""
+
+
+class Sampler:
+    def __init__(self, sim):
+        self.sim = sim
+        self.samples = []
+
+    def arm(self):
+        self.sim.schedule(5, self._sample)
+
+    def _sample(self):
+        self.samples.append(self.sim.now)
+        self.sim.schedule(5, self._sample)

@@ -50,3 +50,78 @@ def test_latency_measurement_is_deterministic():
 def test_table1_measurements_are_deterministic():
     assert measure_single_buffering() == measure_single_buffering()
     assert measure_csend_crecv() == measure_csend_crecv()
+
+
+def _eviction_trace():
+    """Evict a page with TWO remote importers and report the timing.
+
+    The kernel walks ``_imports_by_page`` (a dict of sets) to send one
+    INVALIDATE round-trip per importer; the RPC order is externally
+    visible timing, so this path is only reproducible if the walk is
+    explicitly ordered (``sorted``, simlint SL104) rather than left in
+    hash order.
+    """
+    from repro.machine.cluster import Cluster
+    from repro.os.params import OsParams
+    from repro.sim import Process as SimProcess
+    from tests.test_consistency_multi_importer import (
+        VRECV, exit_program, spawn_half_sender,
+    )
+
+    cluster = Cluster(
+        3, 1, os_params=OsParams(consistency_policy="invalidate")
+    )
+    kernel = cluster.kernel(2)
+    receiver = cluster.spawn(2, "receiver", exit_program())
+    kernel.alloc_region(receiver, VRECV, PAGE_SIZE)
+    spawn_half_sender(cluster, 0, receiver, 0, 0xAAA)
+    spawn_half_sender(cluster, 1, receiver, PAGE_SIZE // 2, 0xBBB)
+    cluster.start()
+    cluster.run()
+
+    def evict():
+        yield from kernel.evict_page(receiver, VRECV // PAGE_SIZE)
+
+    SimProcess(cluster.sim, evict(), "evict").start()
+    cluster.run()
+    return (
+        cluster.sim.now,
+        cluster.sim.event_count,
+        kernel.rpcs_sent.value,
+        kernel.pages_evicted.value,
+        [cluster.kernel(n).kernel_instructions for n in range(3)],
+    )
+
+
+def test_eviction_trace_is_hash_seed_independent():
+    """The §4.4 invalidation walk must not depend on PYTHONHASHSEED.
+
+    Runs the two-importer eviction scenario in subprocesses under
+    different hash seeds and requires bit-identical traces -- the
+    regression test for ordering eviction's import walk.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    script = (
+        "from tests.test_determinism import _eviction_trace;"
+        "print(repr(_eviction_trace()))"
+    )
+    traces = []
+    for seed in ("1", "2"):
+        env = dict(
+            os.environ,
+            PYTHONHASHSEED=seed,
+            PYTHONPATH=os.pathsep.join([str(repo / "src"), str(repo)]),
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=300, env=env,
+            cwd=str(repo),
+        )
+        assert result.returncode == 0, result.stderr
+        traces.append(result.stdout)
+    assert traces[0] == traces[1]
