@@ -6,7 +6,7 @@ export PYTHONPATH
 # code side; this pins the interpreter side for tests and benchmarks).
 export PYTHONHASHSEED := 0
 
-.PHONY: test test-fast lint bench-simspeed bench-ckpt
+.PHONY: test test-fast lint bench-simspeed bench-ckpt bench-recovery
 
 # Tier-1 suite (everything); lints first.
 test: lint
@@ -42,3 +42,10 @@ bench-simspeed:
 # (override with FORCE=1).
 bench-ckpt:
 	python -m benchmarks.bench_ckpt $(if $(FORCE),--force)
+
+# Crash-recovery cost at two storm scales (replayed-traffic window,
+# retransmit overhead); every run is verified byte-for-byte against the
+# fault-free reference.  Refuses to record a >25% window or >50%
+# wall-time regression into BENCH_recovery.json (override with FORCE=1).
+bench-recovery:
+	python -m benchmarks.bench_recovery $(if $(FORCE),--force)

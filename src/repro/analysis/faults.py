@@ -1,75 +1,42 @@
-"""Fault injection for robustness experiments.
+"""Deprecated shims over :mod:`repro.faults` (the real fault subsystem).
 
-The SHRIMP network is reliable by design (deadlock-free routing, CRC,
-absolute-coordinate verification); these helpers create the faults those
-mechanisms exist to catch, so tests can observe them working:
-
-- :class:`CorruptEveryNth` -- flip a payload bit in every Nth packet
-  leaving a node (models link bit errors; caught by the CRC).
-- :class:`MisrouteEveryNth` -- rewrite the destination coordinates of
-  every Nth packet (models a routing fault; the packet physically arrives
-  at the wrong node, whose coordinate check discards it).
-
-Both attach to a node's Outgoing FIFO and count what they injected, so a
-test can assert exact drop accounting.
+This module used to monkey-patch ``put_functional`` on a NIC's outgoing
+FIFO.  Fault injection now lives in :mod:`repro.faults`, built on the
+sanctioned :meth:`repro.nic.fifo.PacketFifo.add_inject_hook` point, with
+declarative :class:`~repro.faults.plan.FaultPlan` scheduling and typed
+``fault.*`` events.  The names below keep old imports working; new code
+should import from :mod:`repro.faults` directly.
 """
 
-from repro.mesh.packet import Packet
+import warnings
+
+from repro.faults import injectors as _injectors
 from repro.sim.instrument import Instrumentation
 
 
-class _FifoTap:
-    """Base: intercepts ``put_functional`` on a NIC's outgoing FIFO."""
+def _deprecated(old, new):
+    warnings.warn(
+        "repro.analysis.faults.%s is deprecated; use repro.faults.%s"
+        % (old, new),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class CorruptEveryNth(_injectors.CorruptEveryNth):
+    """Deprecated alias for :class:`repro.faults.injectors.CorruptEveryNth`."""
 
     def __init__(self, nic, every_nth):
-        if every_nth < 1:
-            raise ValueError("every_nth must be >= 1")
-        self.nic = nic
-        self.every_nth = every_nth
-        self.seen = 0
-        self.injected = 0
-        self._original_put = nic.outgoing_fifo.put_functional
-        nic.outgoing_fifo.put_functional = self._tap
-
-    def _tap(self, packet):
-        self.seen += 1
-        if self.seen % self.every_nth == 0:
-            self._mutate(packet)
-            self.injected += 1
-        self._original_put(packet)
-
-    def _mutate(self, packet):
-        raise NotImplementedError
-
-    def detach(self):
-        self.nic.outgoing_fifo.put_functional = self._original_put
-
-
-class CorruptEveryNth(_FifoTap):
-    """Flip a payload bit without fixing the CRC."""
-
-    def _mutate(self, packet):
-        packet.corrupt()
-
-
-class MisrouteEveryNth(_FifoTap):
-    """Send the packet to a wrong (but existing) node.
-
-    The coordinates are rewritten before injection, so the mesh delivers
-    it faithfully to the wrong door; the packet still *claims* its
-    original destination, so the receiver's verify step rejects it.
-    """
-
-    def __init__(self, nic, every_nth, wrong_node):
-        self.wrong_coords = nic.backplane.coords_of(wrong_node)
+        _deprecated("CorruptEveryNth", "CorruptEveryNth")
         super().__init__(nic, every_nth)
 
-    def _mutate(self, packet):
-        # Re-aim the worm after the CRC was computed: the mesh delivers it
-        # to the wrong node, where verification rejects it -- the CRC
-        # covers the destination coordinates, so the tampering cannot go
-        # unnoticed even though the coordinate check now "matches".
-        packet.dest_coords = self.wrong_coords
+
+class MisrouteEveryNth(_injectors.MisrouteEveryNth):
+    """Deprecated alias for :class:`repro.faults.injectors.MisrouteEveryNth`."""
+
+    def __init__(self, nic, every_nth, wrong_node):
+        _deprecated("MisrouteEveryNth", "MisrouteEveryNth")
+        super().__init__(nic, every_nth, wrong_node)
 
 
 def run_corruption_experiment(system, sender, receiver, every_nth,
@@ -79,7 +46,7 @@ def run_corruption_experiment(system, sender, receiver, every_nth,
     from repro.cpu import Asm, Context, Mem
     from repro.sim.process import Process
 
-    tap = CorruptEveryNth(sender.nic, every_nth)
+    tap = _injectors.CorruptEveryNth(sender.nic, every_nth)
     asm = Asm("fault-driver")
     for i in range(store_count):
         asm.mov(Mem(disp=src + 4 * i), i + 1)

@@ -191,6 +191,178 @@ def check_safepoint(system):
     return None
 
 
+def classify_node_entries(system, node_id):
+    """Classify ``node_id``'s own live queue entries; ignore foreign ones.
+
+    The node-granular sibling of :func:`classify_entries`: only events
+    owned by this node's workers (plus its NIC's merge-flush timer) are
+    described -- the rest of the machine keeps its events and keeps
+    running.  Returns ``(descriptors, reason)`` with exactly one side
+    ``None``; descriptor ``index`` values index ``system.ckpt_workers``
+    globally, as in the whole-machine format.
+    """
+    resume_owner = {}
+    for index, worker in enumerate(system.ckpt_workers):
+        if worker.node_id != node_id:
+            continue
+        process = worker.process
+        if process is not None and not process.finished:
+            resume_owner[process._resume] = index
+
+    node = system.nodes[node_id]
+    flush_event_id = None
+    merge = node.nic._merge
+    if merge is not None:
+        if merge.flush_event is None or merge.flush_event.cancelled:
+            return None, (
+                "%s has an open merge window with no pending flush timer"
+                % node.nic.name
+            )
+        flush_event_id = id(merge.flush_event)
+
+    ordered = []
+    for entry in live_entries(system.sim):
+        index = resume_owner.get(entry[2])
+        if index is not None:
+            ordered.append(
+                (entry[1], {"kind": "worker", "index": index, "due": entry[0]})
+            )
+        elif flush_event_id is not None and id(entry) == flush_event_id:
+            ordered.append(
+                (entry[1], {"kind": "merge", "node": node_id, "due": entry[0]})
+            )
+    ordered.sort()
+    return [descriptor for _, descriptor in ordered], None
+
+
+def check_node_quiescent(system, node_id):
+    """Return ``None`` when one node's slice of the machine is capturable.
+
+    The per-node analogue of :func:`check_safepoint`, for crash/restore
+    granularity (repro.faults): only this node's workers, NIC datapath,
+    bus/EISA fabric and mesh access ports must be quiescent -- the other
+    fifteen nodes may be mid-storm.  The NIC's three datapath processes
+    prove their idleness by *which signal they are parked on*: the inject
+    and delivery loops on their FIFOs' change signals, the accept loop on
+    the ejection link's not-empty signal (anywhere else means a packet is
+    mid-pipeline or flow control is asserted).
+    """
+    node = system.nodes[node_id]
+    if node.kernel is not None:
+        return (
+            "node %s has an OS kernel installed (live OS runs are not "
+            "checkpointable yet; see ROADMAP)" % node.name
+        )
+
+    descriptors, reason = classify_node_entries(system, node_id)
+    if reason is not None:
+        return reason
+    owned = {}
+    for descriptor in descriptors:
+        if descriptor["kind"] == "worker":
+            index = descriptor["index"]
+            owned[index] = owned.get(index, 0) + 1
+
+    for index, worker in enumerate(system.ckpt_workers):
+        if worker.node_id != node_id:
+            continue
+        process = worker.process
+        if process is None:
+            # Unscheduled: either never started or crashed -- nothing to
+            # describe, and restore can rebuild it either way.
+            continue
+        if process.finished:
+            continue
+        count = owned.get(index, 0)
+        if count != 1:
+            return (
+                "worker %s owns %d pending resume events (a boundary-parked "
+                "worker owns exactly 1)" % (worker.name, count)
+            )
+        state = inspect.getgeneratorstate(process._generator)
+        if state == inspect.GEN_CREATED:
+            continue
+        if state != inspect.GEN_SUSPENDED:
+            return "worker %s generator is %s" % (worker.name, state)
+        inner = _innermost(process._generator)
+        if getattr(inner, "gi_code", None) is not Cpu.run_slice.__code__:
+            return (
+                "worker %s is suspended inside %s, not at a run_slice "
+                "instruction boundary"
+                % (worker.name, getattr(inner, "__qualname__", inner))
+            )
+
+    nic = node.nic
+    if nic.dma_engine.busy:
+        return "%s DMA engine has a transfer in flight" % nic.name
+    if len(nic.outgoing_fifo):
+        return "%s outgoing FIFO holds %d packets" % (
+            nic.name, len(nic.outgoing_fifo))
+    if len(nic.incoming_fifo):
+        return "%s incoming FIFO holds %d packets" % (
+            nic.name, len(nic.incoming_fifo))
+    if len(nic.kernel_inbox):
+        return "%s kernel inbox holds %d messages" % (
+            nic.name, len(nic.kernel_inbox))
+    if node.bus._mutex.locked:
+        return "%s has a bus transaction in flight" % node.name
+    if node.eisa._mutex.locked:
+        return "%s has an EISA burst in flight" % node.name
+    if node.cpu._pending_interrupts:
+        return "%s has %d pending CPU interrupts" % (
+            node.name, len(node.cpu._pending_interrupts))
+    if node.cpu._preempt:
+        return "%s CPU has a pending preemption" % node.name
+
+    backplane = system.backplane
+    if backplane._injection_locks[node_id].locked:
+        return "injection port of node %d is held by a worm" % node_id
+    injection = backplane.injection_link(node_id)
+    ejection = backplane.ejection_link(node_id)
+    if not injection.ckpt_idle():
+        return "injection link %s is not idle" % injection.name
+    if not ejection.ckpt_idle():
+        return "ejection link %s is not idle" % ejection.name
+
+    if not nic._started:
+        return "%s datapath processes were never started" % nic.name
+    if nic.inject_process._waiting_on is not nic.outgoing_fifo._changed:
+        return "%s inject loop is mid-pipeline" % nic.name
+    if nic.delivery_process._waiting_on is not nic.incoming_fifo._changed:
+        return "%s delivery loop is mid-pipeline" % nic.name
+    if nic.accept_process._waiting_on is not ejection._not_empty:
+        return "%s accept loop is mid-pipeline" % nic.name
+    return None
+
+
+def seek_node_quiescence(system, node_id, max_events=1_000_000):
+    """Single-step the engine until one node's slice is quiescent.
+
+    The node-granular :func:`seek_safepoint`: the rest of the machine may
+    stay arbitrarily busy.  Returns the number of events stepped.  Raises
+    :class:`SafepointError` on budget exhaustion or a drained queue.
+    """
+    stepped = 0
+    while True:
+        reason = check_node_quiescent(system, node_id)
+        if reason is None:
+            return stepped
+        if stepped >= max_events:
+            raise SafepointError(
+                "node %d not quiescent within %d events (last obstacle: %s)"
+                % (node_id, max_events, reason)
+            )
+        if not system.sim.step():
+            reason = check_node_quiescent(system, node_id)
+            if reason is None:
+                return stepped
+            raise SafepointError(
+                "event queue drained without node %d quiescing: %s"
+                % (node_id, reason)
+            )
+        stepped += 1
+
+
 def seek_safepoint(system, max_events=1_000_000):
     """Single-step the engine until :func:`check_safepoint` passes.
 

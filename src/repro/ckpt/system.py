@@ -26,7 +26,12 @@ The restore protocol, in required order:
 
 from repro.ckpt import fmt
 from repro.ckpt.protocol import CkptError, SafepointError
-from repro.ckpt.safepoint import check_safepoint, classify_entries
+from repro.ckpt.safepoint import (
+    check_node_quiescent,
+    check_safepoint,
+    classify_entries,
+    classify_node_entries,
+)
 from repro.ckpt.workload import CpuWorker
 from repro.machine.config import CONFIGS
 from repro.machine.system import ShrimpSystem
@@ -126,3 +131,80 @@ class SystemCheckpoint:
         """
         state, _ = fmt.loads(fmt.dumps(cls.capture(system), system.sim.now))
         return cls.restore(state)
+
+
+class NodeCheckpoint:
+    """Per-node capture/restore granularity, for crash recovery.
+
+    Where :class:`SystemCheckpoint` freezes the whole machine into a
+    document and rebuilds a *fresh* system, ``NodeCheckpoint`` snapshots
+    one node's slice -- its memory, cache, bus, NIC (including the NIPT),
+    CPU, its workers and their pending-resume descriptors -- while the
+    other nodes keep running, and later restores that slice *in place*
+    into the same live system.  Used by the crash/restore orchestration in
+    :mod:`repro.faults.recovery`: kill a node mid-storm, then bring it
+    back from its last snapshot.
+
+    Two deliberate deviations from the whole-machine protocol:
+
+    - instrumentation metrics are **not** captured or restored -- counters
+      are an observer's log of what happened, and what happened (including
+      the crash) stays happened;
+    - a descriptor whose due time has passed by restore time is re-armed
+      at the current instant (the whole-machine restore rewinds the clock
+      instead; a live system cannot).
+    """
+
+    @classmethod
+    def capture(cls, system, node_id):
+        """Snapshot node ``node_id``'s slice.  Raises unless quiescent."""
+        reason = check_node_quiescent(system, node_id)
+        if reason is not None:
+            raise SafepointError(reason)
+        descriptors, reason = classify_node_entries(system, node_id)
+        if reason is not None:  # unreachable after the check, kept defensive
+            raise SafepointError(reason)
+        return {
+            "node_id": node_id,
+            "time": system.sim.now,
+            "node": system.nodes[node_id].ckpt_capture(),
+            "workers": [
+                [index, worker.ckpt_capture()]
+                for index, worker in enumerate(system.ckpt_workers)
+                if worker.node_id == node_id
+            ],
+            "descriptors": descriptors,
+        }
+
+    @classmethod
+    def restore(cls, system, state):
+        """Restore a node's slice into the live (still running) system.
+
+        The node's workers must be unscheduled -- crashed via
+        :meth:`~repro.ckpt.workload.CpuWorker.kill` -- or finished; the
+        node's datapath must be drained (the crash orchestration clears
+        the FIFOs and waits out in-flight DMA before calling this).
+        """
+        node_id = state["node_id"]
+        node = system.nodes[node_id]
+        node.ckpt_restore(state["node"])
+        workers = system.ckpt_workers
+        for index, worker_state in state["workers"]:
+            workers[index].ckpt_restore_inplace(worker_state)
+        now = system.sim.now
+        for descriptor in state["descriptors"]:
+            due = descriptor["due"]
+            if due < now:
+                due = now
+            kind = descriptor.get("kind")
+            if kind == "worker":
+                workers[descriptor["index"]].ckpt_schedule(due)
+            elif kind == "merge":
+                nic = node.nic
+                event = system.sim.schedule_at(
+                    due, nic._merge_timer_fired, nic._merge
+                )
+                nic.ckpt_attach_flush(event)
+            else:
+                raise CkptError("unknown descriptor kind %r" % (kind,))
+        return node

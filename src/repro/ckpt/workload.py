@@ -87,6 +87,21 @@ class CpuWorker:
     def finished(self):
         return self.process is not None and self.process.finished
 
+    def kill(self):
+        """Crash support (repro.faults): discard the running process.
+
+        The worker returns to the unscheduled state, ready for
+        :meth:`ckpt_restore_inplace` + :meth:`ckpt_schedule` to rebuild it
+        from a per-node checkpoint.  The caller must only kill at an
+        instruction boundary (parked on ``run_slice``'s per-instruction
+        timeout) -- there the process holds no bus mutex or other
+        resource.
+        """
+        if self.process is not None:
+            self.process.kill()
+            self.process = None
+        self._primed = False
+
     # -- checkpoint protocol (see repro.ckpt) ---------------------------------
 
     def ckpt_capture(self):
@@ -129,6 +144,36 @@ class CpuWorker:
             shell.result = worker.context
             worker.process = shell
         return worker
+
+    def ckpt_restore_inplace(self, state):
+        """Reset this worker to a captured state, in a *live* system.
+
+        The in-place counterpart of :meth:`ckpt_restore_create`, used by
+        per-node restore (repro.faults): the rest of the system keeps
+        running, so the worker object must stay the one registered in
+        ``system.ckpt_workers``.  The worker must be unscheduled (crashed
+        via :meth:`kill`, or never started).  A finished worker gets the
+        same inert shell the fresh-restore path builds.
+        """
+        if self.process is not None and not self.process.finished:
+            raise RuntimeError(
+                "worker %r is still running; kill() it first" % self.name
+            )
+        if state["name"] != self.name or state["node_id"] != self.node_id:
+            raise ValueError(
+                "worker state %r/%d does not match %r/%d"
+                % (state["name"], state["node_id"], self.name, self.node_id)
+            )
+        self.program = decode_program(state["program"])
+        self.context = decode_context(state["context"])
+        self._primed = state["primed"]
+        self.process = None
+        if state["finished"]:
+            shell = Process(self.system.sim, _finished_shell(), self.name)
+            shell.started = True
+            shell.finished = True
+            shell.result = self.context
+            self.process = shell
 
     def ckpt_schedule(self, due):
         """Rebuild the generator and arm its resume at absolute time ``due``.

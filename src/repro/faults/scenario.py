@@ -1,0 +1,188 @@
+"""The canonical crash-recovery scenario (test + benchmark workload).
+
+A 16-node contention storm (every node hammering node 15 with
+automatic-update stores) runs while a reliable channel
+(:class:`repro.msg.reliable.ReliableChannel`) streams payloads from node
+0 to node 5 -- mesh coordinates (1, 1), squarely inside the storm.  Mid
+storm, node 5 is crashed, every mapping touching it is invalidated
+(section 4.4), and after a dwell it is restored in place from the
+per-node checkpoint taken earlier:
+
+- the restored storm worker replays its stores from the checkpoint
+  instant (automatic-update stores are idempotent, so node 15's buffers
+  converge to the fault-free image);
+- the NIPT-consistency path re-establishes the invalidated mappings;
+- the reliable channel rolls its window back to the restored receiver
+  state and retransmits the lost frames.
+
+:func:`run_crash_recovery` returns the recovery metrics plus the final
+application-visible buffers; :func:`run_fault_free` produces the
+reference image the buffers must match byte for byte
+(``tests/test_recovery.py`` pins this; ``benchmarks/bench_recovery.py``
+records the windows).
+"""
+
+from repro.ckpt.safepoint import seek_node_quiescence
+from repro.ckpt.system import NodeCheckpoint
+from repro.ckpt.workload import CpuWorker
+from repro.cpu import Asm, Context, Mem
+from repro.faults.recovery import (
+    crash_node,
+    invalidate_node_mappings,
+    recover_node,
+)
+from repro.machine import ShrimpSystem, mapping
+from repro.machine.config import CONFIGS
+from repro.memsys.address import PAGE_SIZE
+from repro.msg.reliable import ReliableChannel
+from repro.nic.nipt import MappingMode
+from repro.sim.process import Process, Timeout
+
+STORM_SRC = 0x10000
+STORM_DEST_BASE = 0x100000
+CHANNEL_SRC_BASE = 0x40000
+CHANNEL_DEST_BASE = 0x40000
+#: The crash victim: node 5 sits at mesh coordinates (1, 1) on the 4x4.
+VICTIM = 5
+
+
+def default_payloads(count=12):
+    return [[(0xC0DE0 | k) & 0xFFFFFFFF, 3 * k + 1] for k in range(count)]
+
+
+def build_storm_with_channel(words_per_sender=24, payloads=None,
+                             config="eisa-prototype"):
+    """Build the storm + channel system.  Returns (system, channel,
+    mappings, payloads) with every hardware mapping record collected for
+    crash-time invalidation."""
+    system = ShrimpSystem(4, 4, CONFIGS[config])
+    system.start()
+    hot = system.nodes[15]
+    mappings = []
+    for i, node in enumerate(system.nodes[:15]):
+        dest = STORM_DEST_BASE + i * PAGE_SIZE
+        mappings.append(
+            mapping.establish(node, STORM_SRC, hot, dest, PAGE_SIZE,
+                              MappingMode.AUTO_SINGLE)
+        )
+        asm = Asm("storm%d" % i)
+        for j in range(words_per_sender):
+            asm.mov(Mem(disp=STORM_SRC + 4 * (j % (PAGE_SIZE // 4))),
+                    (i << 16) | j)
+        asm.halt()
+        CpuWorker(system, node.node_id, asm.build(),
+                  Context(stack_top=0x3F000), "storm%d" % i).start()
+    channel = ReliableChannel(system, 0, VICTIM, CHANNEL_SRC_BASE,
+                              CHANNEL_DEST_BASE)
+    if payloads is None:
+        payloads = default_payloads()
+    for payload in payloads:
+        channel.send(payload)
+    channel.close()
+    channel.start()
+    mappings.extend(channel.mappings)
+    return system, channel, mappings, payloads
+
+
+def hot_buffers(system, words_per_sender):
+    """Node 15's per-sender receive buffers, flattened (the storm image)."""
+    hot = system.nodes[15]
+    words = min(words_per_sender, PAGE_SIZE // 4)
+    image = []
+    for i in range(15):
+        base = STORM_DEST_BASE + i * PAGE_SIZE
+        image.extend(hot.memory.read_words(base, words))
+    return image
+
+
+def _observables(system, channel, words_per_sender):
+    return {
+        "end_time": system.sim.now,
+        "hot_image": hot_buffers(system, words_per_sender),
+        "app_words": channel.app_words(),
+        "delivered": [list(seq_payload) for seq_payload in channel.delivered],
+        "complete": channel.complete,
+    }
+
+
+def run_fault_free(words_per_sender=24, payloads=None,
+                   config="eisa-prototype"):
+    """The reference run: same workload, no faults."""
+    system, channel, _mappings, payloads = build_storm_with_channel(
+        words_per_sender, payloads, config
+    )
+    system.run()
+    result = _observables(system, channel, words_per_sender)
+    result["payloads"] = payloads
+    return result
+
+
+def run_crash_recovery(words_per_sender=24, payloads=None, capture_at=6_000,
+                       crash_delay_ns=30_000, dwell_ns=4_000,
+                       config="eisa-prototype", collect_events=False):
+    """Crash node 5 mid-storm, restore it, run to completion.
+
+    The checkpoint is taken at the first per-node quiescent instant after
+    ``capture_at``; the crash hits ``crash_delay_ns`` later, so everything
+    the node did in between -- including the reliable frames it received
+    and acked -- is rolled back and must be replayed.
+
+    Returns the fault-free observables plus the recovery metrics:
+    ``recovery_window_ns`` (crash to restore), ``replay_window_ns``
+    (checkpoint to crash -- the work the node must redo),
+    ``frames_replayed`` and ``retransmits`` (the channel's overhead) and
+    ``dropped_packets`` (volatile NIC state lost with the node).
+    """
+    system, channel, mappings, payloads = build_storm_with_channel(
+        words_per_sender, payloads, config
+    )
+    hub = None
+    if collect_events:
+        from repro.sim.instrument import Instrumentation
+
+        hub = Instrumentation.of(system.sim)
+        hub.enable_events()
+    system.run(until=capture_at)
+    seek_node_quiescence(system, VICTIM)
+    state = NodeCheckpoint.capture(system, VICTIM)
+
+    recovery = {}
+
+    def orchestrate():
+        crash = yield from crash_node(system, VICTIM, channels=(channel,))
+        invalidated = invalidate_node_mappings(system, VICTIM, mappings)
+        yield Timeout(dwell_ns)
+        restore = yield from recover_node(
+            system, state, mappings=invalidated, channels=(channel,)
+        )
+        recovery.update(crash)
+        recovery["restored_at"] = restore["restored_at"]
+        recovery["invalidated_mappings"] = len(invalidated)
+
+    Process(system.sim, orchestrate(), "recovery-orchestrator").start(
+        crash_delay_ns
+    )
+    system.run()
+
+    if "restored_at" not in recovery:
+        raise RuntimeError("recovery orchestration never completed")
+    result = _observables(system, channel, words_per_sender)
+    result["payloads"] = payloads
+    result["ckpt_time"] = state["time"]
+    result["crashed_at"] = recovery["crashed_at"]
+    result["restored_at"] = recovery["restored_at"]
+    result["recovery_window_ns"] = (
+        recovery["restored_at"] - recovery["crashed_at"]
+    )
+    result["replay_window_ns"] = recovery["crashed_at"] - state["time"]
+    result["dropped_packets"] = recovery["dropped_packets"]
+    result["invalidated_mappings"] = recovery["invalidated_mappings"]
+    result["frames_replayed"] = channel.frames_replayed.value
+    result["retransmits"] = channel.retransmits.value
+    result["replayed_window"] = channel.replayed_window
+    if hub is not None:
+        result["fault_events"] = [
+            event.kind for event in hub.events()
+            if event.kind.startswith("fault.")
+        ]
+    return result

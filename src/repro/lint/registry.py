@@ -11,6 +11,7 @@ from repro.lint import (
     rules_callback,
     rules_ckpt,
     rules_determinism,
+    rules_faults,
     rules_instrument,
 )
 
@@ -22,5 +23,6 @@ def all_rules():
         + rules_ckpt.RULES
         + rules_instrument.RULES
         + rules_callback.RULES
+        + rules_faults.RULES
     )
     return sorted(rules, key=lambda rule: rule.code)

@@ -63,6 +63,12 @@ class Link:
         # allocating a fresh one for every park on the hot path.
         self._wait_not_full = Wait(self._not_full)
         self._wait_not_empty = Wait(self._not_empty)
+        # Fault-injection hook (repro.faults): a downed link admits no new
+        # transfers; already-deposited flits remain readable (they arrived
+        # before the cable was pulled).  Orchestration state owned by the
+        # FaultController -- re-armed from the FaultPlan after a restore,
+        # never part of a checkpoint.
+        self._down = False  # simlint: ignore[SL201] fault state, re-armed from the FaultPlan not the checkpoint
         self.flits_moved = Instrumentation.of(sim).counter(name + ".flits")
 
     # -- occupancy accounting --------------------------------------------------
@@ -96,8 +102,14 @@ class Link:
         self._not_empty.fire()
 
     def _wait_for_slot(self):
-        """Generator: block until at least one buffer slot is free *now*."""
-        while self.free_slots() <= 0:
+        """Generator: block until at least one buffer slot is free *now*
+        (and the link is up)."""
+        while self._down or self.free_slots() <= 0:
+            if self._down:
+                # Slot maturity is irrelevant while the cable is pulled;
+                # set_down(False) fires _not_full to resume writers.
+                yield self._wait_not_full
+                continue
             frees = self._frees
             if frees:
                 # A consumed-ahead slot matures at a known time; no reader
@@ -110,8 +122,30 @@ class Link:
         """Generator: block until :meth:`claim_times` has something to give
         (a slot free now, or a consumed-ahead slot with a declared future
         free time -- the writer need not sleep to the maturity itself)."""
-        while self.free_slots() <= 0 and not self._frees:
+        while self._down or (self.free_slots() <= 0 and not self._frees):
             yield self._wait_not_full
+
+    # -- fault-injection hook (see repro.faults) -------------------------------
+
+    @property
+    def is_down(self):
+        return self._down
+
+    def set_down(self, down):
+        """Pull (or reconnect) the cable.
+
+        While down the link admits no new transfers -- writers park
+        exactly as they do on a full buffer, so backpressure propagates
+        upstream hop by hop just like congestion would.  Flits already
+        deposited stay deliverable: they completed transfer before the
+        fault.  Bringing the link back up wakes every parked writer.
+        """
+        down = bool(down)
+        if down == self._down:
+            return
+        self._down = down
+        if not down:
+            self._not_full.fire()
 
     def send(self, flit):
         """Generator: transfer one flit (timed), blocking on a full buffer."""
@@ -171,8 +205,11 @@ class Link:
         Slots currently holding undelivered flits are not claimable (the
         reader has not committed to a pop time for them), so the list may
         be shorter than ``limit``; the writer falls back to the blocking
-        per-flit path for the remainder.
+        per-flit path for the remainder.  A downed link has no claimable
+        slots at all.
         """
+        if self._down:
+            return []
         free = self.free_slots()
         now = self.sim._now
         if free >= limit:

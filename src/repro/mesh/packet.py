@@ -69,6 +69,7 @@ class Packet:
         "crc",
         "created_ns",
         "_corrupted",
+        "route_coords",
     )
 
     def __init__(self, src_coords, dest_coords, dest_addr, payload, kind=DATA,
@@ -83,6 +84,12 @@ class Packet:
         self.created_ns = created_ns
         self.crc = crc16(self._covered_bytes())
         self._corrupted = False
+        # The 4-byte routing field of the header.  Normally None, meaning
+        # "route to dest_coords"; a fault injector may point it elsewhere.
+        # It is routing information only -- NOT covered by the CRC -- so a
+        # misdirected packet arrives intact and is rejected by the
+        # receiver's absolute-coordinate check (paper section 3.1).
+        self.route_coords = None
 
     def _covered_bytes(self):
         """Bytes covered by the CRC: header fields plus payload."""
@@ -126,6 +133,16 @@ class Packet:
     # -- geometry ---------------------------------------------------------------
 
     @property
+    def routing_coords(self):
+        """Where the mesh steers this packet (the header routing field).
+
+        Equals ``dest_coords`` unless a misroute injector rewrote the
+        routing field; routers must consult this, never ``dest_coords``.
+        """
+        route = self.route_coords
+        return route if route is not None else self.dest_coords
+
+    @property
     def payload_bytes(self):
         return len(self.payload) * WORD_SIZE
 
@@ -148,7 +165,7 @@ class Packet:
 
     def to_state(self):
         """JSON-safe snapshot, including a corrupted packet's stale CRC."""
-        return {
+        state = {
             "src": list(self.src_coords),
             "dest": list(self.dest_coords),
             "dest_addr": self.dest_addr,
@@ -158,6 +175,9 @@ class Packet:
             "crc": self.crc,
             "corrupted": self._corrupted,
         }
+        if self.route_coords is not None:
+            state["route"] = list(self.route_coords)
+        return state
 
     @classmethod
     def from_state(cls, state):
@@ -174,6 +194,9 @@ class Packet:
         # packet must fail verification the same way the original would.
         packet.crc = state["crc"]
         packet._corrupted = state["corrupted"]
+        route = state.get("route")
+        if route is not None:
+            packet.route_coords = tuple(route)
         return packet
 
     def __repr__(self):

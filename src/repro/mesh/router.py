@@ -14,7 +14,7 @@ and stalls in place (holding buffers and the output) under backpressure.
 """
 
 from repro.sim.instrument import Instrumentation
-from repro.sim.process import Process, Timeout
+from repro.sim.process import Process, Signal, Timeout, Wait
 from repro.sim.resources import Mutex
 
 
@@ -50,6 +50,13 @@ class Router:
         self.packets_routed = self.instr.counter(self.name + ".packets")
         self.flits_forwarded = self.instr.counter(self.name + ".flits")
         self._started = False
+        # Fault-injection hook (repro.faults): a stalled router finishes
+        # the worm each input currently holds, then parks every input
+        # process until resume().  No checkpoint interplay -- routers hold
+        # no ckpt state; safepoints require the mesh drained anyway.
+        self._stalled = False
+        self._resume_signal = Signal(sim, self.name + ".resume")
+        self._wait_resume = Wait(self._resume_signal)
 
     # -- wiring (used by the backplane) ---------------------------------------
 
@@ -70,6 +77,28 @@ class Router:
                 self._input_process(port, link),
                 "%s.in.%s" % (self.name, port),
             ).start()
+
+    # -- fault-injection hook (see repro.faults) -------------------------------
+
+    @property
+    def is_stalled(self):
+        return self._stalled
+
+    def stall(self):
+        """Freeze the switch fabric at the next worm boundary.
+
+        In-flight worms drain (wormhole switching cannot abandon a worm
+        mid-link without deadlocking the mesh); new head flits wait in
+        their input buffers, exerting ordinary backpressure upstream.
+        """
+        self._stalled = True
+
+    def resume(self):
+        """Release a stalled router; all parked input processes wake."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        self._resume_signal.fire()
 
     # -- routing decision -------------------------------------------------------
 
@@ -92,6 +121,8 @@ class Router:
     def _input_process(self, port, in_link):
         """Forward worms arriving on one input port, forever."""
         while True:
+            while self._stalled:
+                yield self._wait_resume
             pending = in_link.peek_entries()
             if pending:
                 # Fold the head flit's arrival-stamp wait and the routing
@@ -110,7 +141,11 @@ class Router:
                     "%s.%s: worm out of sync, got %r expecting a head flit"
                     % (self.name, port, flit)
                 )
-            out_name = self.route(flit.packet.dest_coords)
+            # A stall that landed while we were parked in receive() still
+            # freezes this worm before its routing decision.
+            while self._stalled:
+                yield self._wait_resume
+            out_name = self.route(flit.packet.routing_coords)
             output = self.outputs[out_name]
             if output.link is None:
                 raise RoutingError(

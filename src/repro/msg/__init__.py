@@ -14,6 +14,7 @@ double buffering (loop cases 1-3)     :mod:`~repro.msg.double_buffer`
 deliberate-update block transfer      :mod:`~repro.msg.deliberate`
 NX/2 ``csend``/``crecv`` on SHRIMP    :mod:`~repro.msg.nx2`
 traditional kernel-DMA baseline       :mod:`~repro.msg.nx2_baseline`
+reliable exactly-once channel         :mod:`~repro.msg.reliable`
 ====================================  =======================================
 
 All primitives operate on a :class:`~repro.msg.layout.MessagingPair`: a
@@ -23,6 +24,7 @@ the communication loops).
 """
 
 from repro.msg.layout import PairLayout, MessagingPair
+from repro.msg.reliable import ReliableChannel
 from repro.msg import (
     deliberate,
     double_buffer,
@@ -30,12 +32,14 @@ from repro.msg import (
     nx2,
     nx2_baseline,
     os_channels,
+    reliable,
     single_buffer,
 )
 
 __all__ = [
     "PairLayout",
     "MessagingPair",
+    "ReliableChannel",
     "single_buffer",
     "double_buffer",
     "deliberate",
@@ -43,4 +47,5 @@ __all__ = [
     "nx2",
     "nx2_baseline",
     "os_channels",
+    "reliable",
 ]

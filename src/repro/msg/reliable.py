@@ -1,0 +1,378 @@
+"""Reliable, exactly-once, in-order delivery over deliberate update.
+
+The SHRIMP substrate is reliable by construction -- until a FaultPlan
+(:mod:`repro.faults`) corrupts, misroutes or crashes something.  This
+channel layers end-to-end reliability on the paper's primitives so an
+application-visible transfer survives any plan the substrate throws at
+it:
+
+- **frames** ride the deliberate-update DMA engine: the sender fills a
+  ring slot in its own mapped-out memory (head sequence word, payload
+  length, payload, tail sequence word) and arms a one-slot DMA transfer;
+- **acks** ride a one-word automatic-update return mapping: the receiver
+  stores a cumulative ack through its snooped bus, and the NIC deposits
+  it into the sender's memory with no CPU involvement (section 5.2's
+  flag idiom);
+- the sender keeps a go-back-N window with timeout + exponential-backoff
+  retransmission; the receiver delivers strictly in order, suppressing
+  duplicates by sequence comparison and re-acking them (a lost ack shows
+  up as a duplicate frame).
+
+Torn frames cannot be delivered: a slot is valid only when its head and
+tail words both carry the expected (1-based) wire sequence, and the NIC
+deposits slot bytes in ascending address order -- so the tail word lands
+last and a half-deposited frame never matches.
+
+Crash/restore (repro.faults.recovery) integration: the endpoint driver
+processes are device-level, so a node crash kills them and a restore
+respawns them; the receiver's progress (expected sequence, application
+buffer cursor) lives in node DRAM, so a per-node checkpoint rolls it
+back -- and :meth:`ReliableChannel.node_restored` rolls the *sender's*
+window back to match (modeling the section 4.4 kernel re-establishment
+handshake) and bumps the ack epoch so stale in-flight acks from before
+the crash cannot masquerade as progress.  The frames re-sent below the
+old window base are the **replayed-traffic window**, the recovery metric
+``benchmarks/bench_recovery.py`` records.
+"""
+
+from repro.machine.mapping import establish
+from repro.memsys.address import PAGE_SIZE
+from repro.nic.command import CommandOp, encode_command
+from repro.nic.nipt import MappingMode
+from repro.sim.instrument import Instrumentation
+from repro.sim.process import Process, Timeout, Wait
+
+ACK_VALUE_BITS = 20
+ACK_VALUE_MASK = (1 << ACK_VALUE_BITS) - 1
+
+
+class ReliableChannel:
+    """One reliable unidirectional stream between two nodes.
+
+    ``src_base``/``dest_base`` are page-aligned physical addresses of a
+    three-page region on each side::
+
+        src_base  + 0      sender's frame ring   (mapped out, DELIBERATE)
+        src_base  + PAGE   ack landing word      (mapped in)
+        dest_base + 0      receiver's frame ring (mapped in)
+        dest_base + PAGE   ack source word       (mapped out, AUTO_SINGLE)
+        dest_base + 2*PAGE receiver state (expected seq, app cursor) and,
+                           one page up, the application receive buffer
+
+    Call :meth:`send` to queue payloads (lists of words), :meth:`close`
+    when no more will follow, then :meth:`start` before running the
+    simulation.  ``delivered`` is the in-order log of (seq, payload)
+    the application received -- the exactly-once property the tests pin.
+    """
+
+    def __init__(self, system, src_node_id, dest_node_id, src_base,
+                 dest_base, name=None, window_slots=4, payload_words=8,
+                 ack_poll_ns=600, retransmit_timeout_ns=30_000,
+                 max_timeout_ns=500_000):
+        if src_base % PAGE_SIZE or dest_base % PAGE_SIZE:
+            raise ValueError("channel bases must be page aligned")
+        if window_slots < 1 or payload_words < 1:
+            raise ValueError("window_slots and payload_words must be >= 1")
+        self.system = system
+        self.src_node_id = src_node_id
+        self.dest_node_id = dest_node_id
+        self.src = system.nodes[src_node_id]
+        self.dest = system.nodes[dest_node_id]
+        self.name = name or ("rel%d_%d" % (src_node_id, dest_node_id))
+        self.window_slots = window_slots
+        self.payload_words = payload_words
+        self.slot_words = payload_words + 3  # head, nwords, payload, tail
+        self.slot_bytes = self.slot_words * 4
+        ring_bytes = window_slots * self.slot_bytes
+        if ring_bytes > PAGE_SIZE:
+            raise ValueError(
+                "ring of %d bytes exceeds one page; shrink window_slots or "
+                "payload_words" % ring_bytes
+            )
+        self.ack_poll_ns = ack_poll_ns
+        self.retransmit_timeout_ns = retransmit_timeout_ns
+        self.max_timeout_ns = max_timeout_ns
+
+        self.src_base = src_base
+        self.dest_base = dest_base
+        self.ack_src_addr = dest_base + PAGE_SIZE  # receiver writes here
+        self.ack_dest_addr = src_base + PAGE_SIZE  # NIC deposits here
+        self.state_addr = dest_base + 2 * PAGE_SIZE
+        self.app_base = dest_base + 3 * PAGE_SIZE
+
+        # The two hardware mappings (kept for crash-time invalidation).
+        self.mappings = [
+            establish(self.src, src_base, self.dest, dest_base, ring_bytes,
+                      MappingMode.DELIBERATE),
+            establish(self.dest, self.ack_src_addr, self.src,
+                      self.ack_dest_addr, 4, MappingMode.AUTO_SINGLE),
+        ]
+
+        # Sender window state (device registers, Python-level).
+        self.outbox = []  # seq -> payload words
+        self.closed = False
+        self.base = 0  # oldest unacked seq
+        self.next_seq = 0  # next never-sent seq
+        self.epoch = 0  # bumped per node restore; stale acks are ignored
+        self.delivered = []  # in-order (seq, payload) log, for assertions
+        self.replayed_window = 0  # frames re-sent below old base, last restore
+
+        self._tx_proc = None
+        self._rx_proc = None
+        self._tx_busy = False
+        self._rx_busy = False
+        self._force_retransmit = False
+
+        self.instr = Instrumentation.of(system.sim)
+        self.frames_sent = self.instr.counter(self.name + ".frames_sent")
+        self.retransmits = self.instr.counter(self.name + ".retransmits")
+        self.acks_written = self.instr.counter(self.name + ".acks_written")
+        self.frames_replayed = self.instr.counter(self.name + ".frames_replayed")
+
+    # -- application API -------------------------------------------------------
+
+    def send(self, payload):
+        """Queue one payload (1..payload_words words) for transmission."""
+        payload = [int(w) & 0xFFFFFFFF for w in payload]
+        if not 1 <= len(payload) <= self.payload_words:
+            raise ValueError(
+                "payload must be 1..%d words, got %d"
+                % (self.payload_words, len(payload))
+            )
+        if self.closed:
+            raise RuntimeError("channel %s is closed" % self.name)
+        self.outbox.append(payload)
+
+    def close(self):
+        """No more payloads; endpoints may finish once everything is acked."""
+        self.closed = True
+
+    @property
+    def total(self):
+        return len(self.outbox) if self.closed else None
+
+    def start(self):
+        """Spawn the sender and receiver driver processes."""
+        if self._tx_proc is not None or self._rx_proc is not None:
+            raise RuntimeError("channel %s already started" % self.name)
+        self._spawn_sender()
+        self._spawn_receiver()
+        return self
+
+    def expected_seq(self):
+        """The receiver's next expected sequence (reads receiver DRAM)."""
+        return self.dest.memory.read_word(self.state_addr)
+
+    def app_words(self):
+        """The application receive buffer contents, as delivered so far."""
+        cursor = self.dest.memory.read_word(self.state_addr + 4)
+        if cursor == 0:
+            return []
+        return self.dest.memory.read_words(self.app_base, cursor)
+
+    @property
+    def complete(self):
+        return self.closed and self.base >= len(self.outbox)
+
+    # -- crash/restore integration (see repro.faults.recovery) -----------------
+
+    def killable(self, node_id):
+        """True when this channel's endpoint on ``node_id`` holds nothing.
+
+        The crash orchestration polls this before killing: an endpoint is
+        safe to kill while parked outside its bus/DMA critical sections
+        (the ``_busy`` flags bracket those).
+        """
+        if node_id == self.dest_node_id:
+            proc, busy = self._rx_proc, self._rx_busy
+        elif node_id == self.src_node_id:
+            proc, busy = self._tx_proc, self._tx_busy
+        else:
+            return True
+        return proc is None or proc.finished or not busy
+
+    def node_crashed(self, node_id):
+        """Kill the endpoint driver living on the crashed node."""
+        if node_id == self.dest_node_id and self._rx_proc is not None:
+            self._rx_proc.kill()
+            self._rx_proc = None
+            self._rx_busy = False
+        if node_id == self.src_node_id and self._tx_proc is not None:
+            self._tx_proc.kill()
+            self._tx_proc = None
+            self._tx_busy = False
+
+    def node_restored(self, node_id):
+        """Resynchronise with a node just restored from its checkpoint.
+
+        Models the section 4.4 re-establishment handshake: the kernels
+        agree on a new ack epoch (stale in-flight acks die), the sender
+        rolls its window base back to the receiver's restored expected
+        sequence, and the frames between the two are retransmitted -- the
+        replayed-traffic window.
+        """
+        self.epoch += 1
+        if node_id == self.dest_node_id:
+            expected = self.expected_seq()
+            rolled_back = max(0, self.base - expected)
+            self.replayed_window = rolled_back
+            if rolled_back:
+                self.frames_replayed.bump(rolled_back)
+            self.base = min(self.base, expected)
+            # The rollback un-delivers everything past the checkpoint.
+            del self.delivered[expected:]
+            self._force_retransmit = True
+            hub = self.instr
+            if hub.active:
+                hub.emit(self.name, "msg.rollback", node=node_id,
+                         expected=expected, replayed=rolled_back,
+                         epoch=self.epoch)
+            self._spawn_receiver()
+            if self._tx_proc is None or self._tx_proc.finished:
+                self._spawn_sender()
+        if node_id == self.src_node_id:
+            # The sender's device registers restart from its restored ack
+            # word; anything past it is retransmitted.
+            raw = self.src.memory.read_word(self.ack_dest_addr)
+            self.base = min(self.base, raw & ACK_VALUE_MASK)
+            self._force_retransmit = True
+            self._spawn_sender()
+
+    # -- the sender driver -----------------------------------------------------
+
+    def _spawn_sender(self):
+        self._tx_busy = False
+        self._tx_proc = Process(
+            self.system.sim, self._sender_body(), self.name + ".tx"
+        ).start()
+
+    def _read_ack(self):
+        """Parse the deposited ack word; None for a stale-epoch ack."""
+        raw = self.src.memory.read_word(self.ack_dest_addr)
+        if (raw >> ACK_VALUE_BITS) != (self.epoch & 0xFFF):
+            return None
+        return raw & ACK_VALUE_MASK
+
+    def _sender_body(self):
+        sim = self.system.sim
+        timeout = self.retransmit_timeout_ns
+        last_send = sim.now
+        while True:
+            ack = self._read_ack()
+            if ack is not None and ack > self.base:
+                self.base = ack
+                timeout = self.retransmit_timeout_ns  # progress: reset backoff
+            if self.closed and self.base >= len(self.outbox):
+                return
+            sent = False
+            while (self.next_seq < len(self.outbox)
+                   and self.next_seq < self.base + self.window_slots):
+                yield from self._send_frame(self.next_seq)
+                self.next_seq += 1
+                sent = True
+            if sent:
+                last_send = sim.now
+            elif self.base < self.next_seq and (
+                self._force_retransmit or sim.now - last_send >= timeout
+            ):
+                self._force_retransmit = False
+                count = self.next_seq - self.base
+                self.retransmits.bump(count)
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "msg.retransmit", base=self.base,
+                             count=count, timeout_ns=timeout)
+                for seq in range(self.base, self.next_seq):
+                    yield from self._send_frame(seq)
+                last_send = sim.now
+                timeout = min(timeout * 2, self.max_timeout_ns)
+            yield Timeout(self.ack_poll_ns)
+
+    def _send_frame(self, seq):
+        """Generator: fill the ring slot for ``seq`` and arm its DMA."""
+        self._tx_busy = True
+        try:
+            payload = self.outbox[seq]
+            wire = (seq + 1) & 0xFFFFFFFF  # 1-based: zeroed RAM never matches
+            slot_addr = self.src_base + (seq % self.window_slots) * self.slot_bytes
+            words = [wire, len(payload)]
+            words += payload
+            words += [0] * (self.payload_words - len(payload))
+            words.append(wire)
+            node = self.src
+            for index, word in enumerate(words):
+                addr, policy = node.mmu.translate(slot_addr + 4 * index, "write")
+                yield from node.cache.write(addr, word, policy)
+            yield from node.nic.dma_engine.wait_idle()
+            command = node.command_addr(slot_addr)
+            addr, policy = node.mmu.translate(command, "write")
+            yield from node.cache.write(
+                addr, encode_command(CommandOp.DMA_START, self.slot_words),
+                policy,
+            )
+            self.frames_sent.bump()
+        finally:
+            self._tx_busy = False
+
+    # -- the receiver driver ---------------------------------------------------
+
+    def _spawn_receiver(self):
+        self._rx_busy = False
+        self._rx_proc = Process(
+            self.system.sim, self._receiver_body(), self.name + ".rx"
+        ).start()
+
+    def _receiver_body(self):
+        """Deliver in-order frames on every arrival; re-ack everything else.
+
+        Never returns: after the stream completes the process parks on
+        the arrival signal (it holds no event, so the simulation can go
+        idle), ready to re-ack duplicates should the final ack get lost.
+        """
+        arrival = Wait(self.dest.nic.arrival_signal)
+        while True:
+            self._scan_slots()
+            yield from self._write_ack()
+            yield arrival
+
+    def _scan_slots(self):
+        """Deliver every consecutive valid frame waiting in the ring."""
+        mem = self.dest.memory
+        while True:
+            expected = mem.read_word(self.state_addr)
+            if self.total is not None and expected >= self.total:
+                return
+            slot_addr = (
+                self.dest_base
+                + (expected % self.window_slots) * self.slot_bytes
+            )
+            wire = (expected + 1) & 0xFFFFFFFF
+            head = mem.read_word(slot_addr)
+            tail = mem.read_word(slot_addr + (self.slot_words - 1) * 4)
+            if head != wire or tail != wire:
+                return  # missing, stale, or torn mid-deposit
+            nwords = mem.read_word(slot_addr + 4)
+            payload = (
+                mem.read_words(slot_addr + 8, nwords) if nwords else []
+            )
+            cursor = mem.read_word(self.state_addr + 4)
+            if payload:
+                mem.write_words(self.app_base + 4 * cursor, payload)
+            mem.write_word(self.state_addr + 4, cursor + nwords)
+            mem.write_word(self.state_addr, expected + 1)
+            self.delivered.append((expected, list(payload)))
+
+    def _write_ack(self):
+        """Generator: store the cumulative ack through the return mapping."""
+        self._rx_busy = True
+        try:
+            expected = self.dest.memory.read_word(self.state_addr)
+            word = ((self.epoch & 0xFFF) << ACK_VALUE_BITS) | (
+                expected & ACK_VALUE_MASK
+            )
+            node = self.dest
+            addr, policy = node.mmu.translate(self.ack_src_addr, "write")
+            yield from node.cache.write(addr, word, policy)
+            self.acks_written.bump()
+        finally:
+            self._rx_busy = False

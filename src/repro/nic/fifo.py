@@ -41,6 +41,15 @@ class PacketFifo:
         self._changed = Signal(sim, name + ".changed")
         self.threshold_callback = None  # called once per upward crossing
         self._threshold_armed = True
+        # Fault-injection hooks (repro.faults).  inject_hooks run on every
+        # put_functional before the packet is enqueued (corruption /
+        # misroute taps); reserved_bytes squeezes usable capacity to model
+        # overflow pressure.  Both are orchestration state owned by the
+        # FaultController -- re-armed from the FaultPlan after a restore,
+        # never captured.  A tuple, not a list: rebuilt on (de)register so
+        # the hot-path read is one attribute load and a truth test.
+        self.inject_hooks = ()  # simlint: ignore[SL201] fault state, re-armed from the FaultPlan not the checkpoint
+        self.reserved_bytes = 0  # simlint: ignore[SL201] fault state, re-armed from the FaultPlan not the checkpoint
         self.instr = Instrumentation.of(sim)
         self.puts = self.instr.counter(name + ".puts")
         self.gets = self.instr.counter(name + ".gets")
@@ -53,7 +62,7 @@ class PacketFifo:
 
     @property
     def above_threshold(self):
-        return self.occupancy_bytes >= self.threshold_bytes
+        return self.occupancy_bytes + self.reserved_bytes >= self.threshold_bytes
 
     def _record(self):
         if self.occupancy_bytes > self.max_occupancy_bytes:
@@ -71,11 +80,15 @@ class PacketFifo:
         Raises :class:`FifoOverflow` if capacity would be exceeded; fires
         the threshold callback on an upward threshold crossing.
         """
+        if self.inject_hooks:
+            for hook in self.inject_hooks:
+                hook(packet)
         size = packet.size_bytes
-        if self.occupancy_bytes + size > self.capacity_bytes:
+        if self.occupancy_bytes + self.reserved_bytes + size > self.capacity_bytes:
             raise FifoOverflow(
                 "%s: %d + %d bytes exceeds capacity %d"
-                % (self.name, self.occupancy_bytes, size, self.capacity_bytes)
+                % (self.name, self.occupancy_bytes + self.reserved_bytes,
+                   size, self.capacity_bytes)
             )
         self._packets.append(packet)
         self.occupancy_bytes += size
@@ -99,9 +112,73 @@ class PacketFifo:
         Used by the deliberate-update DMA engine, which (being a device
         process, not a bus snoop) can stall under backpressure.
         """
-        while self.occupancy_bytes + packet.size_bytes > self.capacity_bytes:
+        size = packet.size_bytes
+        while self.occupancy_bytes + self.reserved_bytes + size > self.capacity_bytes:
             yield Wait(self._changed)
         self.put_functional(packet)
+
+    # -- fault-injection hooks (see repro.faults) ------------------------------
+
+    def add_inject_hook(self, hook):
+        """Register ``hook(packet)`` to run on every functional put.
+
+        Hooks may mutate the packet in place (flip payload bits, rewrite
+        the routing field) but must not enqueue, dequeue, or raise; they
+        run inside synchronous bus snoops.
+        """
+        self.inject_hooks = self.inject_hooks + (hook,)
+
+    def remove_inject_hook(self, hook):
+        self.inject_hooks = tuple(h for h in self.inject_hooks if h is not hook)
+
+    def set_reserved_bytes(self, nbytes):
+        """Reserve ``nbytes`` of capacity, as if phantom packets sat queued.
+
+        Models FIFO-overflow pressure: occupancy is evaluated against both
+        threshold and capacity with the reservation added, so real traffic
+        crosses the threshold (and interrupts the CPU) early while the
+        post-crossing headroom stays exactly ``capacity - threshold`` --
+        the paper's cannot-overflow argument survives the fault.  The
+        reservation is clamped below the threshold (a FIFO born above
+        threshold would park its producers forever).  Returns the applied
+        value.
+        """
+        nbytes = max(0, min(int(nbytes), self.threshold_bytes - 1))
+        if nbytes == self.reserved_bytes:
+            return nbytes
+        was_above = self.above_threshold
+        self.reserved_bytes = nbytes
+        if self.above_threshold:
+            if self._threshold_armed and not was_above:
+                self._threshold_armed = False
+                self.threshold_crossings.bump()
+                hub = self.instr
+                if hub.active:
+                    hub.emit(self.name, "nic.fifo_threshold",
+                             occupancy=self.occupancy_bytes + nbytes,
+                             threshold=self.threshold_bytes)
+                if self.threshold_callback is not None:
+                    self.threshold_callback()
+        else:
+            self._threshold_armed = True
+        self._changed.fire()
+        return nbytes
+
+    def clear(self):
+        """Drop every queued packet (a crashed node's FIFOs power off).
+
+        Part of the node-crash model, not normal operation: the board
+        loses volatile queue contents; reliability above (repro.msg's
+        reliable channel) is what recovers the lost window.
+        """
+        dropped = len(self._packets)
+        self._packets.clear()
+        self.occupancy_bytes = 0
+        if not self.above_threshold:
+            self._threshold_armed = True
+        self._record()
+        self._changed.fire()
+        return dropped
 
     # -- consumers ---------------------------------------------------------------
 

@@ -134,6 +134,7 @@ class NetworkInterface:
         self.packets_delivered = self.instr.counter(self.name + ".delivered")
         self.words_delivered = self.instr.counter(self.name + ".words_delivered")
         self.crc_drops = self.instr.counter(self.name + ".crc_drops")
+        self.coord_drops = self.instr.counter(self.name + ".coord_drops")
         self.unmapped_drops = self.instr.counter(self.name + ".unmapped_drops")
         self.arrival_interrupts = self.instr.counter(
             self.name + ".arrival_interrupts"
@@ -153,13 +154,27 @@ class NetworkInterface:
     # -- lifecycle --------------------------------------------------------------
 
     def start(self):
-        """Spawn the injection, accept and delivery processes."""
+        """Spawn the injection, accept and delivery processes.
+
+        The process handles are kept: node-granular quiescence checks
+        (repro.ckpt.safepoint) identify an idle datapath by *which signal*
+        each loop is parked on.
+        """
         if self._started:
             return
         self._started = True
-        Process(self.sim, self._injection_loop(), self.name + ".inject").start()
-        Process(self.sim, self._accept_loop(), self.name + ".accept").start()
-        Process(self.sim, self._delivery_loop(), self.name + ".deliver").start()
+        self.inject_process = Process(
+            self.sim, self._injection_loop(), self.name + ".inject"
+        )
+        self.inject_process.start()
+        self.accept_process = Process(
+            self.sim, self._accept_loop(), self.name + ".accept"
+        )
+        self.accept_process.start()
+        self.delivery_process = Process(
+            self.sim, self._delivery_loop(), self.name + ".deliver"
+        )
+        self.delivery_process.start()
 
     def attach_cpu(self, cpu):
         """Register the node CPU for flow-control and arrival interrupts."""
@@ -412,12 +427,23 @@ class NetworkInterface:
             try:
                 packet.verify(self.coords)
             except PacketError:
-                self.crc_drops.bump()
+                # Classify the reject the way the hardware does: the
+                # absolute-coordinate comparison runs first (a misrouted
+                # packet may carry a perfectly valid CRC), then the CRC.
                 hub = self.instr
-                if hub.active:
-                    hub.emit(self.name, "nic.crc_drop",
-                             dest_addr=packet.dest_addr,
-                             words=len(packet.payload))
+                if packet.dest_coords != self.coords:
+                    self.coord_drops.bump()
+                    if hub.active:
+                        hub.emit(self.name, "nic.coord_drop",
+                                 dest_addr=packet.dest_addr,
+                                 intended=list(packet.dest_coords),
+                                 words=len(packet.payload))
+                else:
+                    self.crc_drops.bump()
+                    if hub.active:
+                        hub.emit(self.name, "nic.crc_drop",
+                                 dest_addr=packet.dest_addr,
+                                 words=len(packet.payload))
                 continue
             if packet.kind == Packet.KERNEL:
                 self.kernel_inbox.try_put(packet)

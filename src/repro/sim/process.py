@@ -227,6 +227,30 @@ class Process:
             self._pending_resume = None
         self.sim.schedule(0, self._throw, Interrupt(cause))
 
+    def kill(self):
+        """Terminate the process immediately, without running its body.
+
+        Unlike :meth:`interrupt` the generator gets no chance to respond:
+        it is closed (``GeneratorExit`` propagates through any ``finally``
+        blocks), every wait registration is withdrawn, and joiners are
+        woken with a ``None`` result.  Callers are responsible for killing
+        only at points where the process holds no resources (the node
+        crash/restore orchestration in ``repro.faults`` kills CPU workers
+        at instruction boundaries and channel endpoints parked on their
+        poll timers); a process mid-mutex would strand the lock.  Killing
+        a finished process is a no-op.
+        """
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        if self._pending_resume is not None:
+            self._pending_resume.cancel()
+            self._pending_resume = None
+        self._generator.close()
+        self._finish(None)
+
     def __repr__(self):
         state = "finished" if self.finished else ("running" if self.started else "new")
         return "Process(%s, %s)" % (self.name, state)

@@ -1,0 +1,11 @@
+"""SL501: rebinding a datapath callable bypasses the sanctioned hooks."""
+
+
+def corrupt_all_outgoing(nic):
+    original_put = nic.outgoing_fifo.put_functional
+
+    def corrupting_put(packet):
+        packet.corrupt()
+        original_put(packet)
+
+    nic.outgoing_fifo.put_functional = corrupting_put

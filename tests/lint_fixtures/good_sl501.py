@@ -1,0 +1,18 @@
+"""SL501 pass: faults ride the sanctioned injection hooks.
+
+An object rebinding its *own* callable in ``__init__`` is fine too --
+that is implementation, not a monkey-patch of someone else's datapath.
+"""
+
+
+def corrupt_all_outgoing(nic):
+    def corrupting_hook(packet):
+        packet.corrupt()
+
+    nic.outgoing_fifo.add_inject_hook(corrupting_hook)
+    return corrupting_hook
+
+
+class Sender:
+    def __init__(self, fast_path):
+        self.send = fast_path

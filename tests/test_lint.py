@@ -25,6 +25,7 @@ ALL_CODES = [
     "SL201", "SL202", "SL203",
     "SL301", "SL302", "SL303",
     "SL401", "SL402", "SL403",
+    "SL501",
 ]
 
 

@@ -11,6 +11,7 @@ import pytest
 
 from repro.sim import Process, Timeout
 from repro.cpu import Asm, Mem
+from repro.faults import CorruptEveryNth
 from repro.machine import ShrimpSystem, mapping
 from repro.nic import MappingMode
 from repro.nic.command import CommandOp, encode_command
@@ -132,13 +133,7 @@ class TestErrorHandling:
         a, b = system.nodes
         mapping.establish(a, SRC, b, DST, PAGE_SIZE, MappingMode.AUTO_SINGLE)
         # Corrupt every packet as it is packetized, before injection.
-        original_put = a.nic.outgoing_fifo.put_functional
-
-        def corrupting_put(packet):
-            packet.corrupt()
-            original_put(packet)
-
-        a.nic.outgoing_fifo.put_functional = corrupting_put
+        CorruptEveryNth(a.nic, 1)
         asm = Asm()
         asm.mov(Mem(disp=SRC), 1)
         asm.halt()

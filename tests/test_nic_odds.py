@@ -126,7 +126,8 @@ class TestMisroutedPackets:
 
         Process(system.sim, inject(), "evil").start()
         system.run()
-        assert b.nic.crc_drops.value == 1  # verify() failures counter
+        assert b.nic.coord_drops.value == 1  # coordinate-check rejects
+        assert b.nic.crc_drops.value == 0  # ...classified apart from CRC
         assert b.memory.read_word(DST) == 0
 
 

@@ -11,6 +11,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu import Asm, Context, Mem, R0, R1
+from repro.faults import CorruptEveryNth
 from repro.machine import ShrimpSystem, mapping
 from repro.memsys.address import PAGE_SIZE
 from repro.nic.nipt import MappingMode
@@ -111,16 +112,7 @@ def test_corruption_never_delivers_bad_data(corrupt_every):
     system.start()
     a, b = system.nodes
     mapping.establish(a, SRC, b, DST, PAGE_SIZE, MappingMode.AUTO_SINGLE)
-    original_put = a.nic.outgoing_fifo.put_functional
-    counter = [0]
-
-    def corrupting_put(packet):
-        counter[0] += 1
-        if counter[0] % corrupt_every == 0:
-            packet.corrupt()
-        original_put(packet)
-
-    a.nic.outgoing_fifo.put_functional = corrupting_put
+    CorruptEveryNth(a.nic, corrupt_every)
     nstores = 20
     asm = Asm("w")
     for i in range(nstores):
