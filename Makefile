@@ -6,7 +6,8 @@ export PYTHONPATH
 # code side; this pins the interpreter side for tests and benchmarks).
 export PYTHONHASHSEED := 0
 
-.PHONY: test test-fast lint bench-simspeed bench-ckpt bench-recovery
+.PHONY: test test-fast lint bench-simspeed bench-ckpt bench-recovery \
+	bench-shard
 
 # Tier-1 suite (everything); lints first.
 test: lint
@@ -49,3 +50,11 @@ bench-ckpt:
 # wall-time regression into BENCH_recovery.json (override with FORCE=1).
 bench-recovery:
 	python -m benchmarks.bench_recovery $(if $(FORCE),--force)
+
+# Sharded-execution cost (conductor overhead vs. single-shard, every
+# run verified bit-identical); records under "sharded" in
+# BENCH_simspeed.json, refuses a >25% overhead regression (FORCE=1
+# overrides).  On a single-CPU host this measures protocol overhead
+# only -- see docs/simulation.md "Sharded execution".
+bench-shard:
+	python -m benchmarks.bench_shard $(if $(FORCE),--force)

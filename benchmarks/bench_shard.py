@@ -1,0 +1,158 @@
+"""Sharded-execution cost: conductor overhead and (maybe) speedup.
+
+Runs every shard scenario (``repro.sharded``) single-shard and sharded,
+verifies the merged fingerprint is bit-identical per run, and records
+the wall-clock ratio into ``BENCH_simspeed.json`` under ``"sharded"``:
+
+    python -m benchmarks.bench_shard            # refuses a >25% slowdown
+    python -m benchmarks.bench_shard --force    # record regardless
+    make bench-shard                            # same as the first form
+
+Honest numbers, not marketing: grants are serial by construction (that
+is what makes the result bit-exact), so sharding buys wall-clock only
+when the ``process`` backend overlaps shard phases on a multi-core
+host.  ``host_cpus`` is recorded with every run -- on a single-CPU host
+``speedup_x`` can never exceed 1.0 and the numbers measure pure
+protocol overhead (boundary serialization, grant bookkeeping, merge),
+which is exactly what the regression gate below protects.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.sharded import run_sharded, run_single
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simspeed.json")
+#: Refuse to record if sharded-vs-single overhead grew >25% over the
+#: committed numbers (overhead_x is a wall-clock ratio, host-dependent
+#: but stable on one host).
+REGRESSION_TOLERANCE = 0.25
+
+#: Scenario kwargs sized so the full sweep stays under ~a minute.
+SCENARIOS = {
+    "ping_pong": {"rounds": 8},
+    "bandwidth": {"nbytes": 16384},
+    "contention": {"words_per_sender": 8},
+    "fault_storm": {"words_per_sender": 8},
+}
+QUICK = {
+    "ping_pong": {"rounds": 2},
+    "contention": {"words_per_sender": 4},
+}
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def run_one(name, shards, backend, kwargs):
+    """One scenario at one shard count; asserts bit-exactness per run."""
+    single_wall, reference = _timed(run_single, name, **kwargs)
+    sharded_wall, merged = _timed(
+        run_sharded, name, shards, backend=backend, **kwargs
+    )
+    if merged["fingerprint"] != reference["fingerprint"]:
+        raise AssertionError(
+            "%s x%d (%s) fingerprint diverged from single-shard"
+            % (name, shards, backend)
+        )
+    return {
+        "shards": shards,
+        "backend": backend,
+        "events": merged["fingerprint"]["event_count"],
+        "sim_ns": merged["fingerprint"]["now"],
+        "grants": merged["grants"],
+        "single_wall_s": single_wall,
+        "sharded_wall_s": sharded_wall,
+        "overhead_x": sharded_wall / single_wall,
+        "speedup_x": single_wall / sharded_wall,
+    }
+
+
+def run_all(quick=False):
+    scenarios = QUICK if quick else SCENARIOS
+    results = {}
+    for name, kwargs in scenarios.items():
+        results[name] = run_one(name, 2, "inline", kwargs)
+        if not quick:
+            results[name + "@4"] = run_one(name, 4, "inline", kwargs)
+    # One process-backend point: the backend that can actually overlap
+    # on multi-core hosts (fork + pipe costs dominate on one core).
+    results["ping_pong@process"] = run_one(
+        "ping_pong", 2, "process", scenarios["ping_pong"]
+    )
+    return results
+
+
+def check_regression(old, new, tolerance=REGRESSION_TOLERANCE):
+    """Human-readable list of overhead_x regressions of >tolerance."""
+    problems = []
+    old_runs = old.get("sharded", {}).get("runs", {})
+    for name, result in new.items():
+        prior = old_runs.get(name)
+        if not prior or "overhead_x" not in prior:
+            continue
+        ceiling = prior["overhead_x"] * (1.0 + tolerance)
+        if result["overhead_x"] > ceiling:
+            problems.append(
+                "%s: overhead %.2fx is >%d%% above the recorded %.2fx"
+                % (name, result["overhead_x"], int(tolerance * 100),
+                   prior["overhead_x"])
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite the sharded section even on regression")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="result file (default: repo BENCH_simspeed.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workloads (smoke test; never writes)")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    for name, r in results.items():
+        print("%-20s x%d %-7s %8d events %5d grants  %.3fs vs %.3fs "
+              "(overhead %.2fx)"
+              % (name, r["shards"], r["backend"], r["events"], r["grants"],
+                 r["sharded_wall_s"], r["single_wall_s"], r["overhead_x"]))
+
+    if args.quick:
+        print("(quick mode: results not written)")
+        return 0
+
+    payload = {}
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            payload = json.load(fh)
+        problems = check_regression(payload, results)
+        if problems and not args.force:
+            print("REFUSING to overwrite %s:" % args.output)
+            for line in problems:
+                print("  " + line)
+            print("re-run with --force to record a known regression")
+            return 1
+
+    payload["sharded"] = {
+        "host_cpus": os.cpu_count(),
+        "note": "grants are serial; speedup_x > 1 needs the process "
+                "backend AND a multi-core host (see docs/simulation.md)",
+        "runs": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s (host_cpus=%d)" % (args.output, os.cpu_count()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

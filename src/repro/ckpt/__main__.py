@@ -41,7 +41,7 @@ def _cmd_save(args):
     system = builder(config=args.config, **kwargs)
     if args.until:
         system.run(until=args.until)
-    stepped = seek_safepoint(system)
+    stepped = seek_safepoint(system, max_events=args.max_events)
     nbytes = SystemCheckpoint.save(system, args.path)
     print(
         "saved %s: scenario=%s t=%d ns (+%d events to safepoint), %d bytes"
@@ -127,6 +127,8 @@ def main(argv=None):
                         help="ping_pong round trips (default 8)")
     p_save.add_argument("--config", default="eisa-prototype",
                         help="named hardware config (default eisa-prototype)")
+    p_save.add_argument("--max-events", type=int, default=1_000_000,
+                        help="safepoint-seek event budget (default 1000000)")
     p_save.set_defaults(fn=_cmd_save)
 
     p_resume = sub.add_parser("resume", help="restore and run a checkpoint")

@@ -41,7 +41,20 @@ class CkptIntegrityError(CkptError):
 
 
 class SafepointError(CkptError):
-    """Capture was attempted at an instant that is not a safepoint."""
+    """Capture was attempted at an instant that is not a safepoint.
+
+    When raised by the seek helpers the structured context rides along:
+    ``obstacle`` names the blocking component or queue entry, ``sim_time``
+    is the simulation time the search reached, and ``stepped`` counts the
+    events executed while seeking.  All three are ``None`` when the error
+    comes from a direct capture attempt instead of a seek.
+    """
+
+    def __init__(self, message, obstacle=None, sim_time=None, stepped=None):
+        super().__init__(message)
+        self.obstacle = obstacle
+        self.sim_time = sim_time
+        self.stepped = stepped
 
 
 def pairs(mapping):

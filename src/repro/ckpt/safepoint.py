@@ -349,16 +349,18 @@ def seek_node_quiescence(system, node_id, max_events=1_000_000):
             return stepped
         if stepped >= max_events:
             raise SafepointError(
-                "node %d not quiescent within %d events (last obstacle: %s)"
-                % (node_id, max_events, reason)
+                "node %d not quiescent within %d events (reached t=%d ns; "
+                "blocking: %s)" % (node_id, max_events, system.sim.now, reason),
+                obstacle=reason, sim_time=system.sim.now, stepped=stepped,
             )
         if not system.sim.step():
             reason = check_node_quiescent(system, node_id)
             if reason is None:
                 return stepped
             raise SafepointError(
-                "event queue drained without node %d quiescing: %s"
-                % (node_id, reason)
+                "event queue drained at t=%d ns without node %d quiescing: %s"
+                % (system.sim.now, node_id, reason),
+                obstacle=reason, sim_time=system.sim.now, stepped=stepped,
             )
         stepped += 1
 
@@ -377,15 +379,17 @@ def seek_safepoint(system, max_events=1_000_000):
             return stepped
         if stepped >= max_events:
             raise SafepointError(
-                "no safepoint within %d events (last obstacle: %s)"
-                % (max_events, reason)
+                "no safepoint within %d events (reached t=%d ns; blocking: %s)"
+                % (max_events, system.sim.now, reason),
+                obstacle=reason, sim_time=system.sim.now, stepped=stepped,
             )
         if not system.sim.step():
             reason = check_safepoint(system)
             if reason is None:
                 return stepped
             raise SafepointError(
-                "event queue drained without reaching a safepoint: %s"
-                % reason
+                "event queue drained at t=%d ns without reaching a "
+                "safepoint: %s" % (system.sim.now, reason),
+                obstacle=reason, sim_time=system.sim.now, stepped=stepped,
             )
         stepped += 1

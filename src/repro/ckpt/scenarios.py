@@ -16,7 +16,9 @@ from repro.ckpt.workload import CpuWorker
 from repro.cpu import Asm, Context, Mem, R4
 from repro.machine import ShrimpSystem, mapping
 from repro.machine.config import CONFIGS
-from repro.memsys.address import PAGE_SIZE
+from repro.memsys.address import PAGE_SIZE, page_number
+from repro.memsys.cache import CachePolicy
+from repro.msg import deliberate
 from repro.msg.layout import MessagingPair, PairLayout as L
 from repro.nic.nipt import MappingMode
 
@@ -67,6 +69,28 @@ def build_ping_pong(rounds=8, config="eisa-prototype"):
     return system
 
 
+def build_bandwidth(nbytes=16384, config="eisa-prototype"):
+    """One deliberate-update DMA transfer, sender node 0 to receiver node 1.
+
+    The checkpoint/shard twin of ``benchmarks.bench_simspeed``'s
+    bandwidth sweep, at a single size and with the sender running as a
+    :class:`CpuWorker` so the run is pause/resume/shard-able.
+    """
+    system = ShrimpSystem(2, 1, CONFIGS[config])
+    system.start()
+    sender, receiver = system.nodes
+    buf_src, buf_dst = 0x40000, 0x80000
+    mapping.establish(sender, buf_src, receiver, buf_dst, nbytes,
+                      MappingMode.DELIBERATE)
+    sender.mmu.set_policy(page_number(L.PRIV), CachePolicy.WRITE_THROUGH)
+    payload = [(7 * i + 3) & 0xFFFFFFFF for i in range(nbytes // 4)]
+    sender.memory.write_words(buf_src, payload)
+    asm = deliberate.sender_program(system, sender, nbytes, buf_addr=buf_src)
+    CpuWorker(system, 0, asm.build(), Context(stack_top=0x3F000),
+              "sender").start()
+    return system
+
+
 def build_contention(words_per_sender=8, config="eisa-prototype"):
     """4x4 mesh; 15 nodes storm node 15 with automatic-update stores."""
     system = ShrimpSystem(4, 4, CONFIGS[config])
@@ -112,6 +136,7 @@ def build_blocked_stream(words=64, config="eisa-prototype"):
 
 SCENARIOS = {
     "ping_pong": build_ping_pong,
+    "bandwidth": build_bandwidth,
     "contention": build_contention,
     "blocked_stream": build_blocked_stream,
 }

@@ -29,6 +29,7 @@ class FaultController:
         self.plan = plan
         self.crash_handler = crash_handler
         self.injectors = []  # live injector windows, for introspection
+        self.armed_events = []  # (plan event, ScheduledEvent) pairs from arm()
         self.instr = Instrumentation.of(system.sim)
         self._counters = {}
         self._links_by_name = None
@@ -79,7 +80,8 @@ class FaultController:
         for event in self.plan.events:
             apply_fn = getattr(self, "_apply_" + event.type_name)
             self._resolve(event)  # fail at arm time, not mid-run
-            sim.schedule(max(0, event.at - now), apply_fn, event)
+            scheduled = sim.schedule(max(0, event.at - now), apply_fn, event)
+            self.armed_events.append((event, scheduled))
         return self
 
     def _resolve(self, event):

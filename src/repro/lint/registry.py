@@ -13,6 +13,7 @@ from repro.lint import (
     rules_determinism,
     rules_faults,
     rules_instrument,
+    rules_shard,
 )
 
 
@@ -24,5 +25,6 @@ def all_rules():
         + rules_instrument.RULES
         + rules_callback.RULES
         + rules_faults.RULES
+        + rules_shard.RULES
     )
     return sorted(rules, key=lambda rule: rule.code)

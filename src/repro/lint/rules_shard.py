@@ -1,0 +1,70 @@
+"""SL6xx: shard-isolation hygiene rules.
+
+The shard layer (``repro.sim.shard`` + ``repro.machine.sharding``) only
+stays bit-exact because every cross-shard interaction flows through the
+boundary-link API: deposits and credits become serialized ops, waiter
+wakes are seq-burned, and each side's view of a boundary link's queue
+(``_entries``) and credit free-list (``_frees``) is reconstructed from
+those ops alone.  Code that reaches into another object's ``_entries``
+or ``_frees`` directly reads or mutates state that, under sharding, may
+live in a *different process* -- the access silently sees a stale local
+replica (or diverges the replica it mutates), and the N-shard run stops
+matching the single-shard run.  This rule family keeps link internals
+behind the sanctioned accessors.
+"""
+
+import ast
+
+from repro.lint.engine import Rule
+
+#: Link-internal state whose two shard-side replicas are only kept
+#: coherent by the boundary-op protocol.  ``_entries`` is the in-flight
+#: flit queue (owned by the reader side), ``_frees`` the credit
+#: free-list (owned by the writer side).
+_LINK_INTERNALS = frozenset({"_entries", "_frees"})
+
+
+class CrossShardStateAccessRule(Rule):
+    """SL601: link-internal queue state touched outside the boundary API.
+
+    ``link._entries`` / ``link._frees`` on a non-``self`` object reads
+    (or mutates) state that the shard layer replicates per process and
+    keeps coherent only through boundary ops (``repro.mesh.link``'s
+    ``apply_boundary_op``).  Outside the link module such an access is
+    correct in a single-shard run and silently wrong in a sharded one --
+    exactly the class of bug the bit-exactness tests exist to prevent.
+    Use the public surface instead: ``peek_entries`` / ``pop_entries``
+    / ``try_receive`` / ``receive`` for the queue, ``can_accept`` /
+    ``free_count`` for credits, and the checkpoint protocol
+    (``ckpt_capture`` / ``ckpt_restore``) for whole-state snapshots.
+    An object touching its *own* attribute is implementation, not a
+    cross-shard reference, and is not flagged.
+    """
+
+    code = "SL601"
+    title = "cross-shard link internals accessed directly"
+    # The link module owns the state; the backplane's ckpt_restore
+    # rebuilds it wholesale from a captured document (both replicas get
+    # the same document, so the direct writes there are shard-safe).
+    skip_path_suffixes = ("mesh/link.py", "mesh/backplane.py")
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _LINK_INTERNALS
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+            ):
+                yield self.finding(
+                    module, node,
+                    "direct access to .%s bypasses the boundary-link API; "
+                    "under sharding this state is a per-process replica -- "
+                    "use peek_entries/pop_entries/receive or "
+                    "can_accept/free_count instead" % node.attr,
+                )
+
+
+RULES = (CrossShardStateAccessRule(),)

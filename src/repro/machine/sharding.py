@@ -1,0 +1,218 @@
+"""Partition a :class:`~repro.machine.system.ShrimpSystem` across shards.
+
+The machine half of the shard layer (the engine half is
+``repro.sim.shard``): given a fully built and started system, turn it into
+ONE shard's view of the machine.
+
+Every shard constructs the *complete* system identically -- that is what
+keeps sequence-number consumption (and therefore global event positions)
+bit-identical to the single-shard run -- and then this module:
+
+- swaps each mesh link whose writer and reader tiles live in different
+  shards to a boundary replica (``BoundaryTxLink`` on the writer's side,
+  ``BoundaryRxLink`` on the reader's), wired to the shard's op outbox;
+- *deactivates* every process owned by another shard
+  (:meth:`~repro.sim.process.Process.deactivate` cancels the start event
+  and closes the generator without waking joiners or consuming sequence
+  numbers, so the deactivation itself is invisible to the event order);
+- cancels fault-plan events armed for components another shard owns.
+
+Nodes are partitioned into contiguous id chunks (``ceil(n / shards)`` per
+shard); a router is co-located with its node, so injection and ejection
+links never cross a boundary -- only inter-router mesh links do.
+"""
+
+import hashlib
+import re
+
+from repro.mesh.link import BoundaryRxLink, BoundaryTxLink, apply_boundary_op
+from repro.sim.shard import ShardError
+
+
+def partition(node_count, shards):
+    """Owning shard per node id: contiguous chunks of ``ceil(n/shards)``.
+
+    Shards past the last chunk simply own nothing (legal, if pointless).
+    """
+    if shards < 1:
+        raise ShardError("need at least one shard, got %d" % shards)
+    chunk = -(-node_count // shards)
+    return [node_id // chunk for node_id in range(node_count)]
+
+
+def boundary_link_map(width, height, shards):
+    """``{link name: (writer shard, reader shard)}`` for crossing links.
+
+    Mirrors the backplane's construction walk (east and south neighbour
+    pairs, one link per direction) without needing a built system, so the
+    conductor in the parent process can route ops from topology alone.
+    """
+    owner = partition(width * height, shards)
+    links = {}
+    for y in range(height):
+        for x in range(width):
+            here = owner[y * width + x]
+            for nx, ny in ((x + 1, y), (x, y + 1)):
+                if nx >= width or ny >= height:
+                    continue
+                there = owner[ny * width + nx]
+                if here == there:
+                    continue
+                links["link(%d,%d)->(%d,%d)" % (x, y, nx, ny)] = (here, there)
+                links["link(%d,%d)->(%d,%d)" % (nx, ny, x, y)] = (there, here)
+    return links
+
+
+def _link_home(name, backplane):
+    """Node id whose shard owns the named link (its writer's tile)."""
+    match = re.match(r"link\((\d+),(\d+)\)->", name)
+    if match:
+        return backplane.node_at((int(match.group(1)), int(match.group(2))))
+    match = re.match(r"(?:inject|eject)\((\d+)\)$", name)
+    if match:
+        return int(match.group(1))
+    raise ShardError("cannot determine the owning node of link %r" % name)
+
+
+class ShardWorld:
+    """One shard's view of a built system; the duck type
+    ``repro.sim.shard`` hosts drive (see that module's docstring for the
+    interface contract).
+
+    ``node_processes`` lists ``(node_id, process)`` pairs for workload
+    processes the system registry does not know about (e.g. a reliable
+    channel's sender and receiver loops); each is deactivated unless this
+    shard owns its node.
+    """
+
+    def __init__(self, system, index, shards, controller=None,
+                 node_processes=()):
+        if not system._started:
+            raise ShardError("shard worlds wrap started systems only")
+        self.system = system
+        self.sim = system.sim
+        self.hub = system.instrumentation
+        self.index = index
+        self.shards = shards
+        self.owner = partition(system.node_count, shards)
+        self.outbox = []
+        self.boundary_tx = {}
+        self.boundary_rx = {}
+        self._links_by_name = {
+            link.name: link for link in system.backplane.iter_links()
+        }
+        self._packet_caches = {}
+        for name, (writer, reader) in boundary_link_map(
+                system.width, system.height, shards).items():
+            link = self._links_by_name[name]
+            if writer == index:
+                link.__class__ = BoundaryTxLink
+                link._boundary_init(self.outbox)
+                self.boundary_tx[name] = link
+            elif reader == index:
+                link.__class__ = BoundaryRxLink
+                link._boundary_init(self.outbox)
+                self.boundary_rx[name] = link
+        self._deactivate_foreign(node_processes)
+        if controller is not None:
+            self._filter_faults(controller)
+
+    # -- ownership -------------------------------------------------------------
+
+    def owns_node(self, node_id):
+        return self.owner[node_id] == self.index
+
+    def _deactivate_foreign(self, node_processes):
+        backplane = self.system.backplane
+        for coords, router in backplane.routers.items():
+            if not self.owns_node(backplane.node_at(coords)):
+                for process in router.processes:
+                    process.deactivate()
+        for node in self.system.nodes:
+            if self.owns_node(node.node_id):
+                continue
+            nic = node.nic
+            for process in (nic.inject_process, nic.accept_process,
+                            nic.delivery_process):
+                process.deactivate()
+        for worker in self.system.ckpt_workers:
+            if worker.process is not None and not self.owns_node(
+                    worker.node_id):
+                worker.process.deactivate()
+        for node_id, process in node_processes:
+            if not self.owns_node(node_id):
+                process.deactivate()
+
+    def _fault_owner(self, event):
+        kind = event.type_name
+        backplane = self.system.backplane
+        if kind == "node_crash":
+            raise ShardError(
+                "node_crash faults need recovery orchestration across the "
+                "whole machine and are not supported in sharded runs"
+            )
+        if kind in ("link_down", "link_up"):
+            return self.owner[_link_home(event.link, backplane)]
+        if kind in ("router_stall", "router_resume"):
+            return self.owner[backplane.node_at(tuple(event.coords))]
+        return self.owner[event.node]
+
+    def _filter_faults(self, controller):
+        for event, scheduled in controller.armed_events:
+            if self._fault_owner(event) != self.index:
+                scheduled.cancel()
+
+    # -- the shard-host interface (see repro.sim.shard) ------------------------
+
+    def set_remote_waiters(self, snapshots):
+        for name, count in snapshots.items():
+            link = self.boundary_tx.get(name)
+            if link is None:
+                link = self.boundary_rx[name]
+            link._remote_waiters = count
+
+    def waiter_report(self):
+        report = {}
+        for name, link in self.boundary_tx.items():
+            report["w:" + name] = len(link._not_full._waiters)
+        for name, link in self.boundary_rx.items():
+            report["r:" + name] = len(link._not_empty._waiters)
+        return report
+
+    def apply_ops(self, ops):
+        for op in ops:
+            name = op["link"]
+            apply_boundary_op(
+                self._links_by_name[name],
+                op,
+                self._packet_caches.setdefault(name, {}),
+            )
+
+    def _probe_values(self):
+        hub = self.hub
+        return {
+            name: hub.summary(name)["value"]
+            for name in hub.names()
+            if hub.kind(name) == "probe"
+        }
+
+    def baseline(self):
+        return {
+            "capture": self.hub.ckpt_capture(),
+            "probes": self._probe_values(),
+        }
+
+    def collect(self):
+        memory = [
+            [node.node_id,
+             hashlib.sha256(bytes(node.memory._data)).hexdigest()]
+            for node in self.system.nodes
+            if self.owns_node(node.node_id)
+        ]
+        return {
+            "now": self.sim.now,
+            "event_count": self.sim.event_count,
+            "capture": self.hub.ckpt_capture(),
+            "probes": self._probe_values(),
+            "memory": memory,
+        }

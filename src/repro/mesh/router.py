@@ -49,6 +49,7 @@ class Router:
         self.instr = Instrumentation.of(sim)
         self.packets_routed = self.instr.counter(self.name + ".packets")
         self.flits_forwarded = self.instr.counter(self.name + ".flits")
+        self.processes = []  # input forwarding processes, filled by start()
         self._started = False
         # Fault-injection hook (repro.faults): a stalled router finishes
         # the worm each input currently holds, then parks every input
@@ -72,11 +73,13 @@ class Router:
             raise RuntimeError("%s already started" % self.name)
         self._started = True
         for port, link in self.inputs.items():
-            Process(
-                self.sim,
-                self._input_process(port, link),
-                "%s.in.%s" % (self.name, port),
-            ).start()
+            self.processes.append(
+                Process(
+                    self.sim,
+                    self._input_process(port, link),
+                    "%s.in.%s" % (self.name, port),
+                ).start()
+            )
 
     # -- fault-injection hook (see repro.faults) -------------------------------
 

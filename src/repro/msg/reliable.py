@@ -286,7 +286,18 @@ class ReliableChannel:
                     yield from self._send_frame(seq)
                 last_send = sim.now
                 timeout = min(timeout * 2, self.max_timeout_ns)
-            yield Timeout(self.ack_poll_ns)
+            # Sleep to the next poll tick -- but never past the retransmit
+            # deadline.  A fixed ack_poll_ns sleep aliased the timeout
+            # check: retransmission fired up to a full poll interval late,
+            # depending on where poll ticks happened to land relative to
+            # last_send.  With unacked frames outstanding the wake-up is
+            # clamped to the exact deadline instead.
+            delay = self.ack_poll_ns
+            if self.base < self.next_seq:
+                remaining = last_send + timeout - sim.now
+                if remaining < delay:
+                    delay = max(1, remaining)
+            yield Timeout(delay)
 
     def _send_frame(self, seq):
         """Generator: fill the ring slot for ``seq`` and arm its DMA."""

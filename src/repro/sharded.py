@@ -1,0 +1,224 @@
+"""Run a named scenario sharded across N simulators -- bit-exactly.
+
+The user-facing entry to the shard layer (``repro.sim.shard`` +
+``repro.machine.sharding``)::
+
+    from repro.sharded import run_sharded, run_single
+
+    merged = run_sharded("contention", shards=4)       # inline backend
+    single = run_single("contention")
+    assert merged["fingerprint"] == single["fingerprint"]
+
+``run_sharded`` with ``shards=1`` does not enter the shard machinery at
+all: it falls back to the ordinary single-process engine (`system.run()`)
+and reports the same result shape, so callers can treat the shard count
+as a plain parameter.
+
+Backends:
+
+- ``inline`` (default): every shard lives in the calling process and
+  grants run serially.  Deterministic, debuggable, and the backend the
+  equivalence tests exercise.
+- ``process``: every shard is a forked OS process driven over a
+  multiprocessing pipe -- same protocol, same bit-exact result, but
+  boundary-light scenario phases can overlap on multi-core hosts.
+
+Command line::
+
+    python -m repro.sharded contention --shards 4 --verify
+"""
+
+import argparse
+import json
+import sys
+
+from repro.ckpt.scenarios import (
+    build_bandwidth,
+    build_contention,
+    build_ping_pong,
+)
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan
+from repro.faults.scenario import build_storm_with_channel
+from repro.machine.sharding import ShardWorld, boundary_link_map
+from repro.sim.shard import (
+    Conductor,
+    InlineHost,
+    ProcessHost,
+    ShardError,
+    merge_observables,
+)
+
+#: Default fault plan seed for the ``fault_storm`` scenario.
+STORM_SEED = 0xC0FFEE
+
+
+def storm_plan(seed, width=4, height=4):
+    """The seeded, crash-free fault schedule of the ``fault_storm``
+    scenario: link flaps (one of them a potential shard-boundary link),
+    router stalls, and FIFO pressure, all inside the storm window."""
+    return FaultPlan.seeded(
+        seed,
+        duration_ns=20_000,
+        link_names=("link(1,1)->(2,1)", "link(2,2)->(2,1)", "inject(3)"),
+        router_coords=((2, 1),),
+        nodes=(7,),
+        pressure_bytes=256,
+    )
+
+
+def _scenario_ping_pong(rounds=8):
+    return build_ping_pong(rounds=rounds), None, ()
+
+
+def _scenario_bandwidth(nbytes=16384):
+    return build_bandwidth(nbytes=nbytes), None, ()
+
+
+def _scenario_contention(words_per_sender=8):
+    return build_contention(words_per_sender=words_per_sender), None, ()
+
+
+def _scenario_fault_storm(words_per_sender=12, fault_seed=STORM_SEED):
+    system, channel, _mappings, _payloads = build_storm_with_channel(
+        words_per_sender=words_per_sender
+    )
+    controller = FaultController(system, storm_plan(fault_seed)).arm()
+    processes = (
+        (channel.src_node_id, channel._tx_proc),
+        (channel.dest_node_id, channel._rx_proc),
+    )
+    return system, controller, processes
+
+
+#: name -> (builder, mesh width, mesh height).  Builders return
+#: ``(system, fault controller or None, ((node_id, process), ...))``.
+SHARD_SCENARIOS = {
+    "ping_pong": (_scenario_ping_pong, 2, 1),
+    "bandwidth": (_scenario_bandwidth, 2, 1),
+    "contention": (_scenario_contention, 4, 4),
+    "fault_storm": (_scenario_fault_storm, 4, 4),
+}
+
+
+def _build(name, collect_events=False, **kwargs):
+    builder = SHARD_SCENARIOS[name][0]
+    system, controller, processes = builder(**kwargs)
+    if collect_events:
+        system.instrumentation.enable_events()
+    return system, controller, processes
+
+
+def build_world(index, name, shards, collect_events=False, **kwargs):
+    """Construct the complete system, then reduce it to shard ``index``'s
+    view.  This is the (re)build entry the process backend imports in each
+    child, so everything here must be a pure function of its arguments."""
+    system, controller, processes = _build(
+        name, collect_events=collect_events, **kwargs
+    )
+    return ShardWorld(system, index, shards, controller=controller,
+                      node_processes=processes)
+
+
+def run_single(name, collect_events=False, **kwargs):
+    """The single-shard reference run, in this process.
+
+    Returns ``{"fingerprint", "events", "executed"}`` -- the same shape
+    :func:`run_sharded` produces, where ``events`` are the bus records
+    emitted *during the run* (construction-time records are excluded, to
+    match the sharded run's per-grant deltas).
+    """
+    from repro.ckpt.divergence import fingerprint
+
+    system, _controller, _processes = _build(
+        name, collect_events=collect_events, **kwargs
+    )
+    hub = system.instrumentation
+    start_records = len(hub._records)
+    system.run()
+    return {
+        "fingerprint": fingerprint(system),
+        "events": [json.dumps(event.to_dict(), sort_keys=True)
+                   for event in hub._records[start_records:]],
+        "executed": system.sim.event_count,
+        "grants": 1,
+    }
+
+
+def run_sharded(name, shards, backend="inline", collect_events=False,
+                max_events=20_000_000, **kwargs):
+    """Run scenario ``name`` across ``shards`` simulators and merge.
+
+    Returns ``{"fingerprint", "events", "executed", "grants"}``; the
+    fingerprint is byte-comparable to the single-shard
+    :func:`repro.ckpt.divergence.fingerprint`.
+    """
+    if name not in SHARD_SCENARIOS:
+        raise ShardError("unknown scenario %r (have %s)"
+                         % (name, ", ".join(sorted(SHARD_SCENARIOS))))
+    if shards < 1:
+        raise ShardError("need at least one shard, got %d" % shards)
+    if shards == 1:
+        return run_single(name, collect_events=collect_events, **kwargs)
+    _builder, width, height = SHARD_SCENARIOS[name]
+    if backend == "inline":
+        hosts = [
+            InlineHost(
+                lambda index: build_world(index, name, shards,
+                                          collect_events=collect_events,
+                                          **kwargs),
+                index,
+            )
+            for index in range(shards)
+        ]
+    elif backend == "process":
+        spec_kwargs = dict(kwargs, name=name, shards=shards,
+                           collect_events=collect_events)
+        hosts = [
+            ProcessHost(("repro.sharded", "build_world", spec_kwargs, index))
+            for index in range(shards)
+        ]
+    else:
+        raise ShardError("unknown backend %r" % (backend,))
+    conductor = Conductor(hosts, boundary_link_map(width, height, shards))
+    try:
+        result = conductor.run(max_events=max_events)
+    finally:
+        conductor.close()
+    return merge_observables(result)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sharded",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("scenario", choices=sorted(SHARD_SCENARIOS))
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--backend", choices=("inline", "process"),
+                        default="inline")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run single-shard and demand an identical "
+                             "fingerprint (exit 1 on divergence)")
+    args = parser.parse_args(argv)
+    result = run_sharded(args.scenario, args.shards, backend=args.backend)
+    fp = result["fingerprint"]
+    print("%s x%d (%s): t=%d ns, %d events, %d grants"
+          % (args.scenario, args.shards, args.backend, fp["now"],
+             fp["event_count"], result["grants"]))
+    if args.verify:
+        reference = run_single(args.scenario)
+        if fp != reference["fingerprint"]:
+            from repro.ckpt.divergence import diff_fingerprints
+
+            print("DIVERGED from the single-shard run:")
+            for line in diff_fingerprints(reference["fingerprint"], fp,
+                                          "single", "sharded"):
+                print("  " + line)
+            return 1
+        print("OK: bit-identical to the single-shard run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

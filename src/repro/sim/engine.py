@@ -90,7 +90,13 @@ class ScheduledEvent(list):
             return
         self[2] = None
         self[3] = ()
-        self[4]._dead += 1
+        # Bucket-resident entries carry a sixth marker slot: their deaths
+        # must not count against the *heap* compaction trigger, or heavy
+        # same-instant cancellation provokes futile heap rebuilds.
+        if len(self) == 6:
+            self[4]._dead_bucket += 1
+        else:
+            self[4]._dead += 1
 
     def __repr__(self):
         state = "spent" if self[2] is None else "pending"
@@ -127,7 +133,13 @@ class Simulator:
         self._event_count = 0
         # simlint: ignore[SL201] bookkeeping for queue compaction; dead
         # entries are dropped from the capture, so the count restores to 0
-        self._dead = 0  # cancelled entries still sitting in a queue
+        self._dead = 0  # cancelled entries still sitting in the heap
+        # simlint: ignore[SL201] same bookkeeping for the same-time bucket;
+        # the bucket drains every instant, so this is always transient
+        self._dead_bucket = 0  # cancelled entries still in the bucket
+        # simlint: ignore[SL201] grant-interrupt latch for the shard
+        # conductor (see run_bounded); always False between grants
+        self._stop_requested = False
 
     @property
     def now(self):
@@ -149,7 +161,10 @@ class Simulator:
         seq = self._seq + 1
         self._seq = seq
         if delay == 0:
-            event = ScheduledEvent((self._now, seq, callback, args, self))
+            # The trailing True marks bucket residency so cancel() charges
+            # the right dead counter (see ScheduledEvent.cancel).  Heap
+            # comparisons never reach it: seq (slot 1) is unique.
+            event = ScheduledEvent((self._now, seq, callback, args, self, True))
             self._bucket.append(event)
         else:
             event = ScheduledEvent((self._now + delay, seq, callback, args, self))
@@ -194,6 +209,7 @@ class Simulator:
             bucket.clear()
             bucket.extend(live)
         self._dead = 0
+        self._dead_bucket = 0
 
     def _next_entry(self):
         """Pop the live entry with the smallest (time, seq), or None.
@@ -214,7 +230,10 @@ class Simulator:
             else:
                 return None
             if entry[2] is None:
-                self._dead -= 1
+                if len(entry) == 6:
+                    self._dead_bucket -= 1
+                else:
+                    self._dead -= 1
                 continue
             return entry
 
@@ -227,11 +246,32 @@ class Simulator:
         bucket = self._bucket
         while bucket and bucket[0][2] is None:
             bucket.popleft()
-            self._dead -= 1
+            self._dead_bucket -= 1
         if bucket and not (heap and heap[0] < bucket[0]):
             return bucket[0][0]
         if heap:
             return heap[0][0]
+        return None
+
+    def peek_position(self):
+        """``(time, seq)`` of the next live event, or ``None`` if idle.
+
+        The shard conductor compares these positions across shards to
+        decide which shard holds the globally next event; ``seq`` is the
+        deterministic tie-breaker for same-instant events.
+        """
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._dead -= 1
+        bucket = self._bucket
+        while bucket and bucket[0][2] is None:
+            bucket.popleft()
+            self._dead_bucket -= 1
+        if bucket and not (heap and heap[0] < bucket[0]):
+            return (bucket[0][0], bucket[0][1])
+        if heap:
+            return (heap[0][0], heap[0][1])
         return None
 
     def step(self):
@@ -286,13 +326,20 @@ class Simulator:
                     break
                 callback = entry[2]
                 if callback is None:
-                    self._dead -= 1
+                    if len(entry) == 6:
+                        self._dead_bucket -= 1
+                    else:
+                        self._dead -= 1
                     continue
                 time = entry[0]
                 if time > horizon:
+                    if len(entry) == 6:
+                        del entry[5]  # migrating to the heap: drop the marker
                     heapq.heappush(heap, entry)
                     break
                 if executed >= budget:
+                    if len(entry) == 6:
+                        del entry[5]
                     heapq.heappush(heap, entry)
                     raise SimulationError(
                         "exceeded max_events=%d at t=%d" % (max_events, self._now)
@@ -310,6 +357,85 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+        return executed
+
+    def run_bounded(self, bound_time, bound_seq, max_events=None):
+        """Execute events strictly below the ``(bound_time, bound_seq)`` position.
+
+        The sharded conductor's grant primitive: unlike :meth:`run`, the
+        bound is a lexicographic *(time, seq)* position, exclusive, so a
+        grant can split a single instant between shards exactly at a
+        sequence number.  The clock is left at the last executed event
+        (never advanced to the bound).  Returns the number of events
+        executed.
+
+        An event may set ``_stop_requested`` (a boundary link waking a
+        parked process in a *remote* shard does) to end the grant early:
+        the woken remote event can order before the rest of this grant's
+        range, so the conductor must re-compare frontiers before any
+        further local progress.  The latch is consumed here.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        heap = self._heap
+        bucket = self._bucket
+        heappop = heapq.heappop
+        budget = float("inf") if max_events is None else max_events
+        try:
+            while True:
+                from_bucket = False
+                if bucket:
+                    if heap and heap[0] < bucket[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = bucket.popleft()
+                        from_bucket = True
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    break
+                callback = entry[2]
+                if callback is None:
+                    if len(entry) == 6:
+                        self._dead_bucket -= 1
+                    else:
+                        self._dead -= 1
+                    continue
+                if self._stop_requested:
+                    self._stop_requested = False
+                    if from_bucket:
+                        bucket.appendleft(entry)
+                    else:
+                        heapq.heappush(heap, entry)
+                    break
+                if entry[0] > bound_time or (
+                    entry[0] == bound_time and entry[1] >= bound_seq
+                ):
+                    if from_bucket:
+                        bucket.appendleft(entry)
+                    else:
+                        heapq.heappush(heap, entry)
+                    break
+                if executed >= budget:
+                    if from_bucket:
+                        bucket.appendleft(entry)
+                    else:
+                        heapq.heappush(heap, entry)
+                    raise SimulationError(
+                        "exceeded max_events=%d at t=%d" % (max_events, self._now)
+                    )
+                self._now = entry[0]
+                self._event_count += 1
+                executed += 1
+                args = entry[3]
+                entry[2] = None
+                entry[3] = ()
+                callback(*args)
+        finally:
+            self._running = False
+            self._stop_requested = False
         return executed
 
     def run_until_idle(self, max_events=10_000_000):

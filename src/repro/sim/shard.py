@@ -1,0 +1,495 @@
+"""Sharded conservative-parallel execution of one simulation.
+
+The shard layer splits a simulated machine across N *shard* processes, each
+running its own :class:`~repro.sim.engine.Simulator` over the components it
+owns, coordinated by a :class:`Conductor` in the launching process.  The
+contract is **bit-exactness**: the merged observables of an N-shard run
+(final clock, executed-event count, every metric line, event-bus records,
+per-node memory) are identical to the single-shard run's, byte for byte.
+
+How exactness is achieved
+-------------------------
+
+Single-shard execution order is the lexicographic *(time, seq)* order of
+pending events.  The conductor reproduces that order exactly with serial
+conservative grants:
+
+1.  Every shard reports its *frontier* -- the ``(time, seq)`` position of
+    its next live event (:meth:`Simulator.peek_position`).
+2.  The shard holding the globally minimal frontier is granted the right
+    to run, bounded (exclusively) by the minimum of the *other* live
+    frontiers (:meth:`Simulator.run_bounded`).  Grants are serial: no two
+    shards ever run concurrently in the inline backend, and in the
+    process backend the conductor never has two outstanding grants.
+3.  Sequence numbers come from one global counter: the conductor hands
+    the counter to the granted shard and takes back its advanced value.
+    Construction is identical in every shard (each builds the *complete*
+    system, then deactivates what it does not own; cancellation consumes
+    no sequence numbers), so pending positions are globally unique.
+4.  Mutations that cross a shard boundary travel as serialized *boundary
+    ops* (see ``repro.mesh.link``), applied to the destination shard's
+    replica between grants, in emission order.
+5.  A boundary signal fire whose waiters are parked in the *other* shard
+    burns the exact sequence numbers those wake-ups would have consumed
+    (the conductor snapshots remote waiter counts before each grant) and
+    *stops the grant*: the woken remote event may order before the rest
+    of the granted range, so the conductor re-compares frontiers.
+
+Because grants execute events in globally sorted (time, seq) order,
+concatenating the per-grant event-bus deltas in grant order reproduces the
+single-shard emission order exactly.
+
+This module is machine-agnostic: a *world* object (built by
+``repro.machine.sharding``) supplies the simulator, the boundary links and
+the merge inputs.  The required duck-typed world interface:
+
+``sim``                 the shard's Simulator
+``hub``                 the shard's Instrumentation
+``outbox``              list the boundary links append ops to
+``set_remote_waiters(snapshots)``   {link name: remote parked count}
+``waiter_report()``     {"w:"+name / "r:"+name: local parked count}
+``apply_ops(ops)``      replay boundary ops on local replicas
+``baseline()``          {"capture", "probes"} right after construction
+``collect()``           {"now", "event_count", "capture", "probes",
+                         "memory": [[node_id, sha256], ...]}
+"""
+
+import json
+
+from repro.sim.engine import Simulator
+from repro.sim.instrument import Instrumentation
+
+
+class ShardError(Exception):
+    """Raised for conductor protocol violations (these are bugs)."""
+
+
+#: Bound used when a single shard holds every live event.  The grant still
+#: ends at the next remote wake (stop-on-wake-burn), so the sentinel is
+#: only ever reached by a shard draining to idle.
+_NO_BOUND = (1 << 62, 0)
+
+
+# -- the per-shard command handlers (shared by both backends) -----------------
+
+
+def _do_setup(world):
+    return {
+        "seq": world.sim._seq,
+        "frontier": world.sim.peek_position(),
+        "report": world.waiter_report(),
+        "baseline": world.baseline(),
+    }
+
+
+def _do_grant(world, g_seq, bound, snapshots):
+    sim = world.sim
+    sim._seq = g_seq
+    world.set_remote_waiters(snapshots)
+    records = world.hub._records
+    start = len(records)
+    executed = sim.run_bounded(bound[0], bound[1])
+    ops = world.outbox[:]
+    del world.outbox[:]
+    return {
+        "seq": sim._seq,
+        "frontier": sim.peek_position(),
+        "ops": ops,
+        "report": world.waiter_report(),
+        "executed": executed,
+        "events": [json.dumps(event.to_dict(), sort_keys=True)
+                   for event in records[start:]],
+    }
+
+
+def _do_apply(world, ops):
+    world.apply_ops(ops)
+    return {
+        "frontier": world.sim.peek_position(),
+        "report": world.waiter_report(),
+    }
+
+
+# -- shard hosts --------------------------------------------------------------
+
+
+class InlineHost:
+    """A shard living in the conductor's own process.
+
+    Grants are still strictly serial, so inline N-shard runs exercise the
+    full boundary protocol (and are what the equivalence tests bang on);
+    only the process backend buys wall-clock parallelism on multi-core
+    hosts.
+    """
+
+    def __init__(self, build_fn, index):
+        self.world = build_fn(index)
+
+    def setup(self):
+        return _do_setup(self.world)
+
+    def grant(self, g_seq, bound, snapshots):
+        return _do_grant(self.world, g_seq, bound, snapshots)
+
+    def apply(self, ops):
+        return _do_apply(self.world, ops)
+
+    def collect(self):
+        return self.world.collect()
+
+    def close(self):
+        pass
+
+
+def _shard_server(conn, spec):
+    """Child-process entry: build the world, then serve conductor commands."""
+    import importlib
+
+    module_name, func_name, kwargs, index = spec
+    build = getattr(importlib.import_module(module_name), func_name)
+    world = build(index=index, **kwargs)
+    conn.send(_do_setup(world))
+    while True:
+        message = conn.recv()
+        command = message[0]
+        if command == "grant":
+            conn.send(_do_grant(world, message[1], message[2], message[3]))
+        elif command == "apply":
+            conn.send(_do_apply(world, message[1]))
+        elif command == "collect":
+            conn.send(world.collect())
+        elif command == "stop":
+            break
+        else:
+            raise ShardError("unknown shard command %r" % (command,))
+    conn.close()
+
+
+class ProcessHost:
+    """A shard in its own OS process, driven over a multiprocessing pipe.
+
+    ``spec`` is ``(module, function, kwargs, index)``; the child imports
+    the builder and constructs its world from scratch, so nothing but
+    plain data ever crosses the pipe.
+    """
+
+    def __init__(self, spec):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardError(
+                "process backend needs the fork start method; "
+                "use backend='inline' on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_shard_server, args=(child_conn, spec), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def _call(self, *message):
+        self._conn.send(message)
+        return self._conn.recv()
+
+    def setup(self):
+        return self._conn.recv()  # the child sends its setup unprompted
+
+    def grant(self, g_seq, bound, snapshots):
+        return self._call("grant", g_seq, bound, snapshots)
+
+    def apply(self, ops):
+        return self._call("apply", ops)
+
+    def collect(self):
+        return self._call("collect")
+
+    def close(self):
+        try:
+            self._conn.send(("stop",))
+            self._conn.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():
+            self._process.terminate()
+
+
+# -- the conductor ------------------------------------------------------------
+
+
+class Conductor:
+    """Serial conservative scheduler over a set of shard hosts.
+
+    ``link_shards`` maps every boundary link name to its
+    ``(writer_shard, reader_shard)`` pair; the conductor uses it to route
+    ops (a deposit goes to the reader's shard, a credit to the writer's)
+    and to compute the remote-waiter snapshots a grant carries.
+    """
+
+    def __init__(self, hosts, link_shards):
+        self.hosts = hosts
+        self.link_shards = link_shards
+        self.total_executed = 0
+        self.grants = 0
+        self.event_lines = []
+
+    def _snapshots_for(self, shard, reports):
+        snapshots = {}
+        for name, (writer, reader) in self.link_shards.items():
+            if writer == shard:
+                snapshots[name] = reports[reader].get("r:" + name, 0)
+            elif reader == shard:
+                snapshots[name] = reports[writer].get("w:" + name, 0)
+        return snapshots
+
+    def run(self, max_events=20_000_000):
+        """Drive every shard to completion; returns the merge inputs."""
+        hosts = self.hosts
+        setups = [host.setup() for host in hosts]
+        seqs = {info["seq"] for info in setups}
+        if len(seqs) != 1:
+            raise ShardError(
+                "shards disagree on the post-construction sequence "
+                "counter: %r (non-identical construction)" % sorted(seqs)
+            )
+        g_seq = seqs.pop()
+        frontiers = [info["frontier"] for info in setups]
+        reports = [info["report"] for info in setups]
+        baseline = setups[0]["baseline"]
+        while True:
+            live = sorted(
+                (tuple(frontier), shard)
+                for shard, frontier in enumerate(frontiers)
+                if frontier is not None
+            )
+            if not live:
+                break
+            position, shard = live[0]
+            if len(live) > 1:
+                bound = live[1][0]
+                if bound == position:
+                    raise ShardError(
+                        "shards %d and %d both claim frontier %r"
+                        % (shard, live[1][1], position)
+                    )
+            else:
+                bound = _NO_BOUND
+            reply = hosts[shard].grant(
+                g_seq, bound, self._snapshots_for(shard, reports)
+            )
+            g_seq = reply["seq"]
+            frontiers[shard] = reply["frontier"]
+            reports[shard] = reply["report"]
+            self.event_lines.extend(reply["events"])
+            self.total_executed += reply["executed"]
+            self.grants += 1
+            if self.total_executed > max_events:
+                raise ShardError(
+                    "sharded run exceeded max_events=%d" % max_events
+                )
+            per_dest = {}
+            for op in reply["ops"]:
+                writer, reader = self.link_shards[op["link"]]
+                dest = reader if op["op"] == "deposit" else writer
+                if dest == shard:
+                    raise ShardError(
+                        "shard %d emitted a boundary op for its own "
+                        "replica of %r" % (shard, op["link"])
+                    )
+                per_dest.setdefault(dest, []).append(op)
+            for dest, ops in per_dest.items():
+                applied = hosts[dest].apply(ops)
+                frontiers[dest] = applied["frontier"]
+                reports[dest] = applied["report"]
+        collects = [host.collect() for host in hosts]
+        return {
+            "baseline": baseline,
+            "collects": collects,
+            "events": self.event_lines,
+            "executed": self.total_executed,
+            "grants": self.grants,
+        }
+
+    def close(self):
+        for host in self.hosts:
+            host.close()
+
+
+# -- observable merge ---------------------------------------------------------
+#
+# Each shard's metric registry starts from the identical construction-time
+# baseline and then diverges only by the events that shard executed.  The
+# merge is therefore delta arithmetic against the shared baseline, and the
+# merged registry is REBUILT into a real Instrumentation hub so the summary
+# lines come from the same formatting code the single-shard run uses.
+
+
+def _merge_captures(baseline, captures):
+    base_metrics = baseline["metrics"]
+    names = set(base_metrics)
+    for capture in captures:
+        names.update(capture["metrics"])
+    merged = {}
+    for name in sorted(names):
+        base = base_metrics.get(name)
+        entries = [capture["metrics"].get(name) for capture in captures]
+        kinds = {entry["kind"] for entry in entries if entry}
+        if base:
+            kinds.add(base["kind"])
+        if len(kinds) != 1:
+            raise ShardError("metric %r has clashing kinds %r" % (name, kinds))
+        kind = kinds.pop()
+        if kind == "counter":
+            base_value = base["state"]["value"] if base else 0
+            value = base_value + sum(
+                entry["state"]["value"] - base_value
+                for entry in entries if entry
+            )
+            merged[name] = {"kind": kind, "state": {"value": value}}
+        elif kind == "histogram":
+            merged[name] = {"kind": kind,
+                            "state": _merge_histogram(base, entries)}
+        elif kind == "timeseries":
+            base_samples = base["state"]["samples"] if base else []
+            grown = [
+                entry["state"]["samples"] for entry in entries
+                if entry and len(entry["state"]["samples"]) > len(base_samples)
+            ]
+            if len(grown) > 1:
+                raise ShardError(
+                    "timeseries %r grew in %d shards; series must have a "
+                    "single owning shard" % (name, len(grown))
+                )
+            samples = grown[0] if grown else base_samples
+            merged[name] = {"kind": kind, "state": {"samples": samples}}
+        else:
+            raise ShardError("metric %r has unmergeable kind %r"
+                             % (name, kind))
+    return {"metrics": merged}
+
+
+def _merge_histogram(base, entries):
+    base_state = base["state"] if base else {
+        "count": 0, "total": 0, "min": None, "max": None, "buckets": [],
+    }
+    count = base_state["count"]
+    total = base_state["total"]
+    buckets = {index: n for index, n in base_state["buckets"]}
+    minimum = base_state["min"]
+    maximum = base_state["max"]
+    for entry in entries:
+        if not entry:
+            continue
+        state = entry["state"]
+        count += state["count"] - base_state["count"]
+        total += state["total"] - base_state["total"]
+        base_buckets = dict(base_state["buckets"])
+        for index, n in state["buckets"]:
+            delta = n - base_buckets.get(index, 0)
+            if delta:
+                buckets[index] = buckets.get(index, 0) + delta
+        # Every shard's observations include the baseline prefix, so the
+        # global extremes are the extremes of the per-shard extremes.
+        if state["min"] is not None:
+            minimum = state["min"] if minimum is None else min(
+                minimum, state["min"])
+        if state["max"] is not None:
+            maximum = state["max"] if maximum is None else max(
+                maximum, state["max"])
+    return {
+        "count": count,
+        "total": total,
+        "min": minimum,
+        "max": maximum,
+        "buckets": [[index, buckets[index]] for index in sorted(buckets)
+                    if buckets[index]],
+    }
+
+
+def _merge_probes(baseline_probes, shard_probes):
+    names = set(baseline_probes)
+    for probes in shard_probes:
+        names.update(probes)
+    merged = {}
+    for name in sorted(names):
+        base = baseline_probes.get(name)
+        changed = []
+        for probes in shard_probes:
+            value = probes.get(name, base)
+            if value != base and value not in changed:
+                changed.append(value)
+        if len(changed) > 1:
+            raise ShardError(
+                "probe %r changed differently in multiple shards: %r"
+                % (name, changed)
+            )
+        merged[name] = changed[0] if changed else base
+    return merged
+
+
+def _constant(value):
+    return lambda: value
+
+
+def rebuild_hub(state, probes):
+    """A real Instrumentation hub holding the merged registry.
+
+    Summaries and JSONL lines then come from the production formatting
+    code, which is what makes the merged fingerprint byte-comparable to a
+    single-shard one.
+    """
+    hub = Instrumentation.of(Simulator())
+    # simlint: ignore[SL302] not new metric names: re-registering names
+    # that arrived in a captured state document, so ckpt_restore (which
+    # errors on unregistered names) accepts the merged registry
+    for name, entry in state["metrics"].items():
+        kind = entry["kind"]
+        if kind == "counter":
+            hub.counter(name)  # simlint: ignore[SL302] captured name
+        elif kind == "timeseries":
+            hub.timeseries(name)  # simlint: ignore[SL302] captured name
+        elif kind == "histogram":
+            hub.histogram(name)  # simlint: ignore[SL302] captured name
+    hub.ckpt_restore(state)
+    for name, value in probes.items():
+        hub.probe(name, _constant(value))  # simlint: ignore[SL302] captured
+    return hub
+
+
+def merge_observables(result):
+    """Fold a :meth:`Conductor.run` result into single-shard-shaped output.
+
+    Returns ``{"fingerprint", "events", "executed", "grants"}`` where the
+    fingerprint has the exact shape of :func:`repro.ckpt.divergence.
+    fingerprint`: ``now``, ``event_count``, ``metrics`` (sorted JSONL
+    lines) and ``memory_sha256`` (per node id).
+    """
+    baseline = result["baseline"]
+    collects = result["collects"]
+    state = _merge_captures(
+        baseline["capture"], [collect["capture"] for collect in collects]
+    )
+    probes = _merge_probes(
+        baseline["probes"], [collect["probes"] for collect in collects]
+    )
+    hub = rebuild_hub(state, probes)
+    memory = {}
+    for collect in collects:
+        for node_id, digest in collect["memory"]:
+            if node_id in memory:
+                raise ShardError("node %d collected by two shards" % node_id)
+            memory[node_id] = digest
+    fingerprint = {
+        "now": max(collect["now"] for collect in collects),
+        "event_count": sum(collect["event_count"] for collect in collects),
+        "metrics": list(hub.metrics_jsonl()),
+        "memory_sha256": [memory[node_id] for node_id in sorted(memory)],
+    }
+    return {
+        "fingerprint": fingerprint,
+        "events": result["events"],
+        "executed": result["executed"],
+        "grants": result["grants"],
+    }

@@ -1,0 +1,14 @@
+# simlint: scope=sim
+"""SL601: reaching into a link's queue/credit state breaks sharding."""
+
+
+def steal_head_flit(link):
+    return link._entries.popleft()
+
+
+def fake_credits(link, times):
+    link._frees.extend(times)
+
+
+def queue_depth(router):
+    return sum(len(in_link._entries) for in_link in router.in_links)

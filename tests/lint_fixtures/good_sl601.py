@@ -1,0 +1,29 @@
+# simlint: scope=sim
+"""SL601 pass: link state rides the public accessors.
+
+A link touching its *own* ``_entries`` / ``_frees`` is implementation --
+only reaching into *another* object's replica is a shard hazard.
+"""
+
+from collections import deque
+
+
+class Link:
+    def __init__(self):
+        self._entries = deque()
+        self._frees = deque()
+
+    def peek_entries(self):
+        return tuple(self._entries)
+
+    def free_count(self):
+        return len(self._frees)
+
+
+def take_head_flit(link):
+    (entry,) = link.pop_entries(1, (0,))
+    return entry
+
+
+def queue_depth(router):
+    return sum(len(in_link.peek_entries()) for in_link in router.in_links)

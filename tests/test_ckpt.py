@@ -178,6 +178,40 @@ def test_seek_safepoint_returns_zero_at_rest():
     assert seek_safepoint(system) == 0
 
 
+def test_seek_safepoint_exhaustion_names_obstacle_and_time():
+    """Budget exhaustion must say WHAT blocked and WHEN the search stopped
+    (the system-wide path used to drop both)."""
+    system = build_ping_pong()
+
+    def rogue():
+        while True:
+            yield Timeout(1_000)
+
+    Process(system.sim, rogue(), "rogue").start()
+    with pytest.raises(SafepointError) as excinfo:
+        seek_safepoint(system, max_events=1_000)
+    err = excinfo.value
+    assert isinstance(err.obstacle, str) and err.obstacle
+    assert err.sim_time == system.sim.now
+    assert err.stepped == 1_000
+    message = str(err)
+    assert ("t=%d" % system.sim.now) in message
+    assert err.obstacle in message
+
+
+def test_cli_save_honors_max_events_budget(tmp_path, capsys):
+    from repro.ckpt.__main__ import main
+
+    path = str(tmp_path / "never.ckpt")
+    # A zero-event budget at t=15000 (mid-flight, not a safepoint) must
+    # fail cleanly through the CLI instead of stepping a million events.
+    rc = main(["save", "ping_pong", path, "--until", "15000",
+               "--max-events", "0"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "blocking" in captured.err + captured.out
+
+
 # -- the on-disk format: versioning, checksums, hard failures -----------------
 
 

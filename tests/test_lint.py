@@ -26,6 +26,7 @@ ALL_CODES = [
     "SL301", "SL302", "SL303",
     "SL401", "SL402", "SL403",
     "SL501",
+    "SL601",
 ]
 
 

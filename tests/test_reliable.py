@@ -130,6 +130,36 @@ class TestUnderFaults:
         assert_exactly_once(channel, payloads)
 
 
+class TestRetransmitDeadline:
+    """The retransmit timeout must be exact, not aliased to the poll tick.
+
+    The sender used to check ``now - last_send >= timeout`` only at
+    ``ack_poll_ns`` intervals, so the effective backoff carried up to a
+    full poll interval of jitter that depended on where the poll ticks
+    happened to land.  With the explicit deadline wake-up the first
+    retransmit time is independent of ``ack_poll_ns``.
+    """
+
+    def first_retransmit_time(self, ack_poll_ns):
+        system, channel = build_channel([[1, 2, 3]], ack_poll_ns=ack_poll_ns)
+        hub = system.instrumentation
+        hub.enable_events(only_kinds={"msg.retransmit"})
+        # Outbound link dead from the start: the data frame never arrives,
+        # no ack ever comes back, and the sender must hit its deadline.
+        plan = FaultPlan([LinkDown(0, "inject(0)"), LinkUp(120_000, "inject(0)")])
+        FaultController(system, plan).arm()
+        channel.start()
+        system.run()
+        assert_exactly_once(channel, [[1, 2, 3]])
+        events = hub.events("msg.retransmit")
+        assert events, "expected at least one retransmit"
+        return events[0].time
+
+    def test_first_retransmit_independent_of_poll_interval(self):
+        times = {self.first_retransmit_time(poll) for poll in (600, 700, 901)}
+        assert len(times) == 1, times
+
+
 class TestSeededFaultPlanProperty:
     """The tentpole property: ANY seeded FaultPlan (no crashes -- those
     need recovery orchestration) leaves the reliable channel delivering

@@ -1,0 +1,187 @@
+"""Sharded execution is bit-identical to the single-shard engine.
+
+The contract under test (see ``repro.sim.shard``): for any scenario and
+any shard count, the merged observables of a sharded run -- the PR-3
+replay fingerprint (clock, executed-event count, every metric line,
+per-node DRAM sha256) plus the event-bus records in emission order --
+equal the single-shard run's byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ckpt.divergence import diff_fingerprints
+from repro.ckpt.safepoint import seek_safepoint
+from repro.ckpt.scenarios import build_ping_pong
+from repro.ckpt.system import SystemCheckpoint
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.machine.sharding import (
+    ShardWorld,
+    boundary_link_map,
+    partition,
+)
+from repro.sharded import run_sharded, run_single
+from repro.sim.shard import ShardError
+
+#: Scenario -> kwargs kept small enough for the full matrix to stay fast.
+CASES = {
+    "ping_pong": {"rounds": 2},
+    "bandwidth": {"nbytes": 4096},
+    "contention": {"words_per_sender": 4},
+    "fault_storm": {"words_per_sender": 6},
+}
+
+_single_cache = {}
+
+
+def single(name, **kwargs):
+    key = (name, tuple(sorted(kwargs.items())))
+    if key not in _single_cache:
+        _single_cache[key] = run_single(name, **kwargs)
+    return _single_cache[key]
+
+
+def assert_equivalent(name, shards, **kwargs):
+    reference = single(name, **kwargs)
+    merged = run_sharded(name, shards, **kwargs)
+    problems = diff_fingerprints(
+        reference["fingerprint"], merged["fingerprint"], "single", "sharded"
+    )
+    assert not problems, "%s x%d diverged:\n%s" % (
+        name, shards, "\n".join(problems))
+    assert merged["fingerprint"] == reference["fingerprint"]
+    assert merged["executed"] == reference["executed"]
+
+
+# -- partition geometry -------------------------------------------------------
+
+
+def test_partition_contiguous_chunks():
+    assert partition(16, 2) == [0] * 8 + [1] * 8
+    assert partition(16, 4) == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+    assert partition(16, 3) == [0] * 6 + [1] * 6 + [2] * 4
+    assert partition(2, 4) == [0, 1]  # shards 2 and 3 own nothing
+    with pytest.raises(ShardError):
+        partition(4, 0)
+
+
+def test_boundary_link_map_names_only_crossing_links():
+    links = boundary_link_map(4, 4, 2)
+    # Nodes 0..7 are rows y=0,1; the boundary is the y=1 / y=2 seam.
+    assert links == {
+        "link(%d,1)->(%d,2)" % (x, x): (0, 1) for x in range(4)
+    } | {
+        "link(%d,2)->(%d,1)" % (x, x): (1, 0) for x in range(4)
+    }
+    assert boundary_link_map(4, 4, 1) == {}
+    # Every link in the 4-shard map crosses a row seam, never a column.
+    for name, (writer, reader) in boundary_link_map(4, 4, 4).items():
+        assert writer != reader, name
+
+
+# -- the equivalence matrix ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_fingerprint_matches_single(name, shards):
+    assert_equivalent(name, shards, **CASES[name])
+
+
+def test_shards_one_is_the_plain_engine():
+    merged = run_sharded("ping_pong", 1, rounds=2)
+    assert merged["fingerprint"] == single("ping_pong", rounds=2)["fingerprint"]
+    assert merged["grants"] == 1
+
+
+def test_process_backend_matches_single():
+    merged = run_sharded("ping_pong", 2, backend="process", rounds=2)
+    assert merged["fingerprint"] == single("ping_pong", rounds=2)["fingerprint"]
+
+
+def test_event_records_merge_in_emission_order():
+    reference = run_single("ping_pong", collect_events=True, rounds=2)
+    merged = run_sharded("ping_pong", 2, collect_events=True, rounds=2)
+    assert reference["events"]  # the workload does emit
+    assert merged["events"] == reference["events"]
+    assert merged["fingerprint"] == reference["fingerprint"]
+
+
+# -- hypothesis: arbitrary seeded scenarios and fault plans -------------------
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    name=st.sampled_from(["ping_pong", "bandwidth", "contention"]),
+    scale=st.integers(min_value=1, max_value=3),
+    shards=st.sampled_from([2, 4]),
+)
+def test_seeded_scenarios_shard_equivalence(name, scale, shards):
+    kwargs = {
+        "ping_pong": {"rounds": scale},
+        "bandwidth": {"nbytes": 4096 * scale},
+        "contention": {"words_per_sender": 2 * scale},
+    }[name]
+    assert_equivalent(name, shards, **kwargs)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    fault_seed=st.integers(min_value=0, max_value=2**64 - 1),
+    shards=st.sampled_from([2, 4]),
+)
+def test_seeded_fault_plans_shard_equivalence(fault_seed, shards):
+    assert_equivalent("fault_storm", shards,
+                      words_per_sender=5, fault_seed=fault_seed)
+
+
+# -- guard rails --------------------------------------------------------------
+
+
+def test_node_crash_plans_are_rejected():
+    system = build_ping_pong(rounds=1)
+    controller = FaultController(
+        system, FaultPlan([NodeCrash(1_000, 0)])
+    ).arm()
+    with pytest.raises(ShardError, match="node_crash"):
+        ShardWorld(system, 0, 2, controller=controller)
+
+
+def test_unknown_scenario_and_backend_are_rejected():
+    with pytest.raises(ShardError, match="unknown scenario"):
+        run_sharded("nope", 2)
+    with pytest.raises(ShardError, match="unknown backend"):
+        run_sharded("ping_pong", 2, backend="quantum")
+
+
+# -- per-shard checkpoint slices (migration/rebalance) ------------------------
+
+
+def test_shard_slice_roundtrip():
+    system = build_ping_pong(rounds=2)
+    system.run(until=5_000)
+    seek_safepoint(system)
+    state = SystemCheckpoint.capture(system)
+    slices = [SystemCheckpoint.shard_slice(state, i, 2) for i in range(2)]
+    owned = [sorted(node_id for node_id, _ in piece["nodes"])
+             for piece in slices]
+    assert owned == [[0], [1]]
+    assert SystemCheckpoint.merge_shards(slices) == state
+    # A rebalance: re-slice for a different shard count, still lossless.
+    reshard = [SystemCheckpoint.shard_slice(state, i, 4) for i in range(4)]
+    assert SystemCheckpoint.merge_shards(reshard) == state
+    restored = SystemCheckpoint.restore(SystemCheckpoint.merge_shards(slices))
+    assert restored.sim.now == system.sim.now
+
+
+def test_merge_shards_rejects_gaps():
+    system = build_ping_pong(rounds=2)
+    system.run(until=5_000)
+    seek_safepoint(system)
+    state = SystemCheckpoint.capture(system)
+    lonely = SystemCheckpoint.shard_slice(state, 0, 2)
+    from repro.ckpt.protocol import CkptError
+
+    with pytest.raises(CkptError, match="miss"):
+        SystemCheckpoint.merge_shards([lonely])

@@ -211,6 +211,143 @@ def test_cancel_after_fire_is_noop():
     assert ev.cancelled  # spent entries report as cancelled
 
 
+def test_bucket_cancels_do_not_trigger_heap_compaction():
+    # Regression: cancelling entries sitting in the same-time bucket used
+    # to inflate the *heap* dead counter, so heavy cancellation at a
+    # single instant provoked futile heap rebuilds (the heap had no dead
+    # entries to drop) or left the counter permanently wrong.
+    sim = Simulator()
+    compactions = []
+    original = sim._compact
+
+    def counting_compact():
+        compactions.append(sim.now)
+        original()
+
+    sim._compact = counting_compact
+    fired = []
+
+    def storm():
+        # At one instant: schedule far more zero-delay events than the
+        # compaction threshold, cancel them all, then schedule into the
+        # heap (the call that checks the compaction trigger).
+        doomed = [sim.schedule(0, fired.append, "dead") for _ in range(1500)]
+        for ev in doomed:
+            ev.cancel()
+        sim.schedule(10, fired.append, "live")
+
+    sim.schedule(5, storm)
+    sim.run()
+    assert fired == ["live"]
+    assert compactions == []  # bucket deads must not count against the heap
+    assert sim._dead == 0
+    assert sim._dead_bucket == 0  # drained skips balanced the cancels
+
+
+def test_heap_cancels_still_compact():
+    # The flip side: heap-resident cancels must still trigger compaction.
+    sim = Simulator()
+    doomed = [sim.schedule(10_000 + i, lambda: None) for i in range(2000)]
+    for ev in doomed:
+        ev.cancel()
+    sim.schedule(30_000, lambda: None)  # triggers the rebuild
+    assert len(sim._heap) <= 1
+    assert sim._dead == 0
+
+
+def test_run_until_fires_bucket_event_at_boundary():
+    # The tie case on the *bucket* path: an event scheduled with delay 0
+    # at t == until (so it lands in the same-time bucket) must fire within
+    # the same bounded run, matching the heap-path contract.
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, lambda: sim.schedule(0, fired.append, "bucket-edge"))
+    sim.run(until=50)
+    assert fired == ["bucket-edge"]
+    assert sim.now == 50
+
+
+def test_run_until_past_horizon_preserves_pending_bucket_events():
+    # run(until < now) is a no-op for the clock, and any same-instant
+    # events left in the bucket must survive (they migrate to the heap)
+    # and still fire, in order, on the next unbounded run.
+    sim = Simulator()
+    fired = []
+
+    def leave_bucket_pending():
+        sim.schedule(0, fired.append, "a")
+        sim.schedule(0, fired.append, "b")
+        raise _StopRun
+
+    class _StopRun(Exception):
+        pass
+
+    sim.schedule(80, leave_bucket_pending)
+    try:
+        sim.run()
+    except _StopRun:
+        pass
+    assert sim.now == 80
+    sim.run(until=40)  # horizon already passed: clock stays put
+    assert sim.now == 80
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_peek_position_reports_heap_and_bucket_entries():
+    sim = Simulator()
+    heap_ev = sim.schedule(5, lambda: None)
+    assert sim.peek_position() == (5, heap_ev.seq)
+    sim.run()
+    bucket_ev = sim.schedule(0, lambda: None)  # delay 0: same-time bucket
+    assert sim.peek_position() == (5, bucket_ev.seq)
+
+
+def test_peek_position_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(5, lambda: None)
+    sim.schedule(10, lambda: None)
+    ev.cancel()
+    assert sim.peek_position() == (10, 2)
+    sim.run()
+    assert sim.peek_position() is None
+
+
+def test_run_bounded_splits_an_instant_at_a_seq():
+    # Three events at t=5 (seqs 1..3): a bound of (5, seq2) must execute
+    # only the first, leaving the clock at 5 and the rest pending.
+    sim = Simulator()
+    fired = []
+    evs = [sim.schedule(5, fired.append, name) for name in "abc"]
+    executed = sim.run_bounded(5, evs[1].seq)
+    assert executed == 1
+    assert fired == ["a"]
+    assert sim.now == 5
+    assert sim.peek_position() == (5, evs[1].seq)
+    sim.run_bounded(6, 0)  # everything at t=5 is below (6, 0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_run_bounded_preserves_bucket_order_on_push_back():
+    # A bucket entry pushed back at the bound must stay ahead of its
+    # same-instant successors (appendleft, not a heap round-trip).
+    sim = Simulator()
+    fired = []
+
+    def spawn():
+        for name in "xyz":
+            sim.schedule(0, fired.append, name)
+
+    ev = sim.schedule(5, spawn)
+    sim.run_bounded(5, ev.seq + 1)  # runs spawn only
+    assert fired == []
+    first_pending = sim.peek_position()
+    sim.run_bounded(5, first_pending[1] + 1)  # exactly one bucket event
+    assert fired == ["x"]
+    sim.run()
+    assert fired == ["x", "y", "z"]
+
+
 def test_many_cancellations_compact_without_losing_events():
     # Stress the lazy compaction path: far more dead than live entries.
     sim = Simulator()
