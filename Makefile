@@ -7,7 +7,7 @@ export PYTHONPATH
 export PYTHONHASHSEED := 0
 
 .PHONY: test test-fast lint bench-simspeed bench-ckpt bench-recovery \
-	bench-shard
+	bench-shard bench-workload
 
 # Tier-1 suite (everything); lints first.
 test: lint
@@ -58,3 +58,11 @@ bench-recovery:
 # only -- see docs/simulation.md "Sharded execution".
 bench-shard:
 	python -m benchmarks.bench_shard $(if $(FORCE),--force)
+
+# Datacenter-workload SLO numbers (p50/p99/p999 round-trip latency,
+# goodput vs offered load) on a 32x32 mesh, one run per placement
+# policy, each verified bit-identical between single-shard and 4-shard
+# execution.  Records BENCH_workload.json; refuses a >25% goodput
+# regression (FORCE=1 overrides).  See docs/workloads.md.
+bench-workload:
+	python -m benchmarks.bench_workload $(if $(FORCE),--force)

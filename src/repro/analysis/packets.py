@@ -8,9 +8,7 @@ time from packetization to deposit (the ``nic.packetized`` and
 needs a distribution rather than a single probe.
 """
 
-import math
-
-from repro.sim.instrument import Instrumentation
+from repro.sim.instrument import Instrumentation, nearest_rank
 
 
 class PacketStats:
@@ -52,12 +50,9 @@ class PacketStats:
         return sum(self.latencies_ns) / len(self.latencies_ns)
 
     def percentile(self, p):
-        """p in [0, 100]; nearest-rank percentile."""
-        if not self.latencies_ns:
-            return None
-        ordered = sorted(self.latencies_ns)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        """p in (0, 100]; nearest-rank percentile (the tree-wide
+        definition, :func:`repro.sim.instrument.nearest_rank`)."""
+        return nearest_rank(sorted(self.latencies_ns), p)
 
     def maximum(self):
         return max(self.latencies_ns) if self.latencies_ns else None

@@ -14,6 +14,7 @@ from repro.lint import (
     rules_faults,
     rules_instrument,
     rules_shard,
+    rules_topology,
 )
 
 
@@ -26,5 +27,6 @@ def all_rules():
         + rules_callback.RULES
         + rules_faults.RULES
         + rules_shard.RULES
+        + rules_topology.RULES
     )
     return sorted(rules, key=lambda rule: rule.code)

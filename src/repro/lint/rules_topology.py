@@ -1,0 +1,76 @@
+"""SL7xx: topology encapsulation rules.
+
+PR 7 moved every node-id/coordinate conversion behind
+:class:`repro.mesh.topology.MeshTopology`: ``node_at`` / ``coords_of``
+are the *only* place the row-major ``y * width + x`` encoding lives.
+Code that re-derives a node id inline hard-wires the mesh's address
+layout into a second location -- the classic refactor hazard this PR
+just paid down.  If the encoding ever changes (column-major, folded
+torus, non-rectangular meshes), an inline copy silently disagrees with
+the topology object and produces wrong-node traffic that no unit test
+of either side catches.
+"""
+
+import ast
+
+from repro.lint.engine import Rule
+
+#: Mesh-dimension spellings: a bare name or an attribute access whose
+#: final component is one of these participates in the banned pattern.
+_DIM_NAMES = frozenset({"width", "height"})
+
+
+def _is_dim(node):
+    """True for ``width`` / ``self.width`` / ``topology.height`` etc."""
+    if isinstance(node, ast.Name):
+        return node.id in _DIM_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _DIM_NAMES
+    return False
+
+
+def _is_dim_product(node):
+    """True for a multiplication with a mesh dimension on either side."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Mult)
+        and (_is_dim(node.left) or _is_dim(node.right))
+    )
+
+
+class RawNodeIndexRule(Rule):
+    """SL701: inline ``y * width + x`` node arithmetic outside the
+    topology module.
+
+    An addition with a ``<something> * width`` (or ``* height``) term on
+    either side re-implements :meth:`repro.mesh.topology.MeshTopology.
+    node_at` -- the row-major node-id encoding that PR 7 centralised.
+    Call ``topology.node_at(x, y)`` (or ``coords_of`` for the inverse)
+    instead, so there is exactly one owner of the mesh address layout
+    and alternative encodings stay a one-file change.  Area or capacity
+    math (``width * height``) does not involve an addition and is not
+    flagged; ``mesh/topology.py`` itself is exempt, being the owner.
+    """
+
+    code = "SL701"
+    title = "raw y*width+x node arithmetic outside MeshTopology"
+    skip_path_suffixes = ("mesh/topology.py",)
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Add)
+                and (_is_dim_product(node.left)
+                     or _is_dim_product(node.right))
+            ):
+                yield self.finding(
+                    module, node,
+                    "inline row-major node arithmetic duplicates the mesh "
+                    "address layout; use topology.node_at(x, y) / "
+                    "coords_of(node_id) so MeshTopology stays the single "
+                    "owner of the encoding",
+                )
+
+
+RULES = (RawNodeIndexRule(),)

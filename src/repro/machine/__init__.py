@@ -4,12 +4,23 @@
   EISA-based prototype the paper measures, the projected next-generation
   interface that masters the Xpress bus directly, and the two-node PRAM
   testbed used for the paper's software-overhead experiments.
+- :mod:`~repro.machine.addrmap` -- pluggable address-to-node placement
+  (blocked and strided tile maps).
 - :mod:`~repro.machine.node` -- one node: CPU + cache + Xpress bus + DRAM +
   EISA bridge + SHRIMP network interface.
-- :mod:`~repro.machine.system` -- a mesh of nodes.
+- :mod:`~repro.machine.system` -- a mesh of nodes (geometry owned by
+  :class:`~repro.mesh.topology.MeshTopology`).
 """
 
+from repro.machine.addrmap import (
+    ADDR_MAPS,
+    AddrMap,
+    BlockedAddrMap,
+    StridedAddrMap,
+    make_addr_map,
+)
 from repro.machine.config import (
+    datacenter,
     eisa_prototype,
     next_generation,
     pram_testbed,
@@ -21,6 +32,12 @@ from repro.machine import mapping
 from repro.machine.cluster import Cluster
 
 __all__ = [
+    "ADDR_MAPS",
+    "AddrMap",
+    "BlockedAddrMap",
+    "StridedAddrMap",
+    "make_addr_map",
+    "datacenter",
     "eisa_prototype",
     "next_generation",
     "pram_testbed",

@@ -48,8 +48,28 @@ def pram_testbed():
     return params
 
 
+def datacenter():
+    """A scaled-out deployment: the next-generation interface on every
+    node, sized so 32x32-node machines build in seconds.
+
+    Per-node DRAM drops from 4 MB to 1 MB (256 pages) and the cache is
+    halved; node construction cost is dominated by allocating DRAM and
+    per-page NIPT entries, so this keeps a 1024-node build O(seconds)
+    while leaving room for the channel arenas the datacenter traffic
+    generator (``repro.workload``) packs -- a Zipf-hot home node can
+    terminate a couple hundred channels, each costing half a page of
+    map-out budget.  Per-node timing is identical to
+    :func:`next_generation`.
+    """
+    params = next_generation()
+    params.dram_bytes = 1024 * 1024
+    params.memsys.cache_sets = 64
+    return params
+
+
 CONFIGS = {
     "eisa-prototype": eisa_prototype,
     "next-generation": next_generation,
     "pram-testbed": pram_testbed,
+    "datacenter": datacenter,
 }

@@ -40,27 +40,14 @@ def partition(node_count, shards):
     return [node_id // chunk for node_id in range(node_count)]
 
 
-def boundary_link_map(width, height, shards):
+def boundary_link_map(topology, shards):
     """``{link name: (writer shard, reader shard)}`` for crossing links.
 
-    Mirrors the backplane's construction walk (east and south neighbour
-    pairs, one link per direction) without needing a built system, so the
-    conductor in the parent process can route ops from topology alone.
+    Pure topology (no built system needed), so the conductor in the
+    parent process can route ops for a 32x32 mesh without constructing a
+    single router.
     """
-    owner = partition(width * height, shards)
-    links = {}
-    for y in range(height):
-        for x in range(width):
-            here = owner[y * width + x]
-            for nx, ny in ((x + 1, y), (x, y + 1)):
-                if nx >= width or ny >= height:
-                    continue
-                there = owner[ny * width + nx]
-                if here == there:
-                    continue
-                links["link(%d,%d)->(%d,%d)" % (x, y, nx, ny)] = (here, there)
-                links["link(%d,%d)->(%d,%d)" % (nx, ny, x, y)] = (there, here)
-    return links
+    return topology.crossing_links(partition(topology.node_count, shards))
 
 
 def _link_home(name, backplane):
@@ -103,7 +90,7 @@ class ShardWorld:
         }
         self._packet_caches = {}
         for name, (writer, reader) in boundary_link_map(
-                system.width, system.height, shards).items():
+                system.topology, shards).items():
             link = self._links_by_name[name]
             if writer == index:
                 link.__class__ = BoundaryTxLink

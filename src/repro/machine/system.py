@@ -3,6 +3,7 @@
 from repro.machine.config import eisa_prototype
 from repro.machine.node import ShrimpNode
 from repro.mesh.backplane import Backplane
+from repro.mesh.topology import MeshTopology
 from repro.sim.engine import Simulator
 from repro.sim.instrument import Instrumentation
 
@@ -19,16 +20,19 @@ class ShrimpSystem:
         system.sim.run_until_idle()
     """
 
-    def __init__(self, width, height, params_factory=eisa_prototype, sim=None):
+    def __init__(self, width, height, params_factory=eisa_prototype, sim=None,
+                 topology=None):
         self.sim = sim or Simulator()
         # The machine-wide instrumentation hub (metrics registry + event
         # bus); every component below registers with this same instance.
         self.instrumentation = Instrumentation.of(self.sim)
-        self.width = width
-        self.height = height
+        self.topology = topology or MeshTopology(width, height)
+        self.width = self.topology.width
+        self.height = self.topology.height
         self.params_factory = params_factory
         self.params = params_factory()
-        self.backplane = Backplane(self.sim, self.params.mesh, width, height)
+        self.backplane = Backplane(self.sim, self.params.mesh,
+                                   topology=self.topology)
         self.nodes = [
             ShrimpNode(self.sim, node_id, self.backplane, self.params)
             for node_id in range(self.backplane.node_count)

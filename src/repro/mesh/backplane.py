@@ -1,7 +1,8 @@
 """Assembly of routers and links into a Paragon-style mesh backplane."""
 
 from repro.mesh.link import Link
-from repro.mesh.router import Router, NORTH, SOUTH, EAST, WEST, LOCAL
+from repro.mesh.router import Router, LOCAL
+from repro.mesh.topology import MeshTopology
 from repro.sim.instrument import Instrumentation
 from repro.sim.process import Timeout
 from repro.sim.resources import Mutex
@@ -10,18 +11,23 @@ from repro.sim.resources import Mutex
 class Backplane:
     """A ``width x height`` mesh with one NIC attachment point per router.
 
-    Node ids are assigned row-major: ``node_id = y * width + x``.  A NIC
-    attaches by taking the injection link (it sends flits into it) and the
-    ejection link (it receives flits from it) for its node.
+    All geometry (node-id layout, neighbour walk, link naming) comes from
+    the :class:`~repro.mesh.topology.MeshTopology`; the backplane adds the
+    hardware -- routers, links, injection ports.  Construction is
+    O(nodes + links).  A NIC attaches by taking the injection link (it
+    sends flits into it) and the ejection link (it receives flits from
+    it) for its node.
     """
 
-    def __init__(self, sim, params, width, height, name="mesh"):
-        if width <= 0 or height <= 0:
-            raise ValueError("mesh dimensions must be positive")
+    def __init__(self, sim, params, width=None, height=None, name="mesh",
+                 topology=None):
+        if topology is None:
+            topology = MeshTopology(width, height)
+        self.topology = topology
         self.sim = sim
         self.params = params
-        self.width = width
-        self.height = height
+        self.width = topology.width
+        self.height = topology.height
         self.name = name
         self.routers = {}
         self._injection = {}  # node_id -> Link (NIC -> router)
@@ -33,69 +39,52 @@ class Backplane:
         # simlint: ignore[SL201] start-once latch (wiring, not state)
         self._started = False
 
-    # -- geometry ------------------------------------------------------------
+    # -- geometry (delegated to the topology) ---------------------------------
 
     @property
     def node_count(self):
-        return self.width * self.height
+        return self.topology.node_count
 
     def coords_of(self, node_id):
-        if not 0 <= node_id < self.node_count:
-            raise ValueError("no node %r in %dx%d mesh" % (node_id, self.width,
-                                                           self.height))
-        return node_id % self.width, node_id // self.width
+        return self.topology.coords_of(node_id)
 
     def node_at(self, coords):
-        x, y = coords
-        if not (0 <= x < self.width and 0 <= y < self.height):
-            raise ValueError("coords %r outside %dx%d mesh" % (coords, self.width,
-                                                               self.height))
-        return y * self.width + x
+        return self.topology.node_at(coords)
 
     def hop_count(self, src_node, dest_node):
-        sx, sy = self.coords_of(src_node)
-        dx, dy = self.coords_of(dest_node)
-        return abs(sx - dx) + abs(sy - dy)
+        return self.topology.hop_count(src_node, dest_node)
 
     # -- construction ----------------------------------------------------------
 
     def _build(self):
-        for y in range(self.height):
-            for x in range(self.width):
-                self.routers[(x, y)] = Router(self.sim, self.params, (x, y))
+        topo = self.topology
+        for coords in topo.iter_coords():
+            self.routers[coords] = Router(self.sim, self.params, coords)
         # Neighbour links.  Each adjacent pair gets two unidirectional links.
-        for (x, y), router in self.routers.items():
-            for port, (nx, ny), reverse in (
-                (EAST, (x + 1, y), WEST),
-                (SOUTH, (x, y + 1), NORTH),
-            ):
-                neighbour = self.routers.get((nx, ny))
-                if neighbour is None:
-                    continue
-                forward = Link(
-                    self.sim, self.params,
-                    "link(%d,%d)->(%d,%d)" % (x, y, nx, ny),
-                )
-                backward = Link(
-                    self.sim, self.params,
-                    "link(%d,%d)->(%d,%d)" % (nx, ny, x, y),
-                )
-                router.connect_output(port, forward)
-                neighbour.connect_input(reverse, forward)
-                neighbour.connect_output(reverse, backward)
-                router.connect_input(port, backward)
-        # Injection/ejection links for every node.
-        for node_id in range(self.node_count):
-            coords = self.coords_of(node_id)
+        for coords, port, ncoords, reverse in topo.forward_neighbor_pairs():
             router = self.routers[coords]
-            inject = Link(self.sim, self.params, "inject(%d)" % node_id)
-            eject = Link(self.sim, self.params, "eject(%d)" % node_id)
+            neighbour = self.routers[ncoords]
+            forward = Link(
+                self.sim, self.params, topo.link_name(coords, ncoords)
+            )
+            backward = Link(
+                self.sim, self.params, topo.link_name(ncoords, coords)
+            )
+            router.connect_output(port, forward)
+            neighbour.connect_input(reverse, forward)
+            neighbour.connect_output(reverse, backward)
+            router.connect_input(port, backward)
+        # Injection/ejection links for every node.
+        for node_id in topo.iter_nodes():
+            router = self.routers[topo.coords_of(node_id)]
+            inject = Link(self.sim, self.params, topo.inject_name(node_id))
+            eject = Link(self.sim, self.params, topo.eject_name(node_id))
             router.connect_input(LOCAL, inject)
             router.connect_output(LOCAL, eject)
             self._injection[node_id] = inject
             self._ejection[node_id] = eject
             self._injection_locks[node_id] = Mutex(
-                self.sim, "inject(%d).port" % node_id
+                self.sim, topo.inject_name(node_id) + ".port"
             )
 
     def start(self):

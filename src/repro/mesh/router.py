@@ -13,6 +13,7 @@ by that packet until its tail flit passes; the worm advances flit by flit
 and stalls in place (holding buffers and the output) under backpressure.
 """
 
+from repro.mesh.topology import NORTH, SOUTH, EAST, WEST, LOCAL, route_port
 from repro.sim.instrument import Instrumentation
 from repro.sim.process import Process, Signal, Timeout, Wait
 from repro.sim.resources import Mutex
@@ -22,7 +23,6 @@ class RoutingError(Exception):
     """Raised when a packet cannot be routed (disconnected port)."""
 
 
-NORTH, SOUTH, EAST, WEST, LOCAL = "north", "south", "east", "west", "local"
 PORTS = (NORTH, SOUTH, EAST, WEST, LOCAL)
 
 
@@ -107,17 +107,7 @@ class Router:
 
     def route(self, dest_coords):
         """Dimension-ordered (X then Y) output port for ``dest_coords``."""
-        x, y = self.coords
-        dx, dy = dest_coords
-        if dx > x:
-            return EAST
-        if dx < x:
-            return WEST
-        if dy > y:
-            return SOUTH  # y grows southwards
-        if dy < y:
-            return NORTH
-        return LOCAL
+        return route_port(self.coords, dest_coords)
 
     # -- the worm ---------------------------------------------------------------
 

@@ -40,10 +40,74 @@ from repro.memsys.address import PAGE_SIZE
 from repro.nic.command import CommandOp, encode_command
 from repro.nic.nipt import MappingMode
 from repro.sim.instrument import Instrumentation
-from repro.sim.process import Process, Timeout, Wait
+from repro.sim.process import Process, Signal, Timeout, Wait
 
 ACK_VALUE_BITS = 20
 ACK_VALUE_MASK = (1 << ACK_VALUE_BITS) - 1
+
+
+class ChannelLayout:
+    """Explicit memory placement of one channel's six regions.
+
+    The classic layout (:meth:`classic`) spends three pages a side; many
+    channels per node (the datacenter workload) instead pack regions with
+    a :class:`~repro.workload.arena.NodeArena`: a NIPT page carries at
+    most :data:`~repro.nic.nipt.NiptEntry.MAX_HALVES` outgoing halves, so
+    map-out regions (the sender ring, the ack source word) go two to a
+    page, while mapped-in and CPU-local regions (the receive ring, ack
+    landing word, receiver state, application buffer) pack freely at word
+    granularity.
+
+    ``app_wrap_words`` bounds the application buffer: the receiver's
+    cursor keeps counting delivered words, but writes wrap modulo this
+    many words, so an open-ended stream cannot overrun a packed arena.
+    """
+
+    __slots__ = ("src_ring", "ack_dest_addr", "dest_ring", "ack_src_addr",
+                 "state_addr", "app_base", "app_wrap_words")
+
+    def __init__(self, src_ring, ack_dest_addr, dest_ring, ack_src_addr,
+                 state_addr, app_base, app_wrap_words=None):
+        for label, addr in (("src_ring", src_ring),
+                            ("ack_dest_addr", ack_dest_addr),
+                            ("dest_ring", dest_ring),
+                            ("ack_src_addr", ack_src_addr),
+                            ("state_addr", state_addr),
+                            ("app_base", app_base)):
+            if addr % 4:
+                raise ValueError("%s %#x is not word aligned" % (label, addr))
+        self.src_ring = src_ring
+        self.ack_dest_addr = ack_dest_addr
+        self.dest_ring = dest_ring
+        self.ack_src_addr = ack_src_addr
+        self.state_addr = state_addr
+        self.app_base = app_base
+        self.app_wrap_words = app_wrap_words
+
+    @classmethod
+    def classic(cls, src_base, dest_base):
+        """The original fixed three-pages-a-side layout."""
+        if src_base % PAGE_SIZE or dest_base % PAGE_SIZE:
+            raise ValueError("channel bases must be page aligned")
+        return cls(
+            src_ring=src_base,
+            ack_dest_addr=src_base + PAGE_SIZE,
+            dest_ring=dest_base,
+            ack_src_addr=dest_base + PAGE_SIZE,
+            state_addr=dest_base + 2 * PAGE_SIZE,
+            app_base=dest_base + 3 * PAGE_SIZE,
+        )
+
+    def check_ring(self, ring_bytes):
+        """The sender ring must stay inside one page: it is established as
+        a single outgoing half, and the page-split budget (2 halves) is
+        what the packed allocator rations."""
+        if self.src_ring // PAGE_SIZE != (
+                self.src_ring + ring_bytes - 1) // PAGE_SIZE:
+            raise ValueError(
+                "sender ring %#x..%#x crosses a page boundary"
+                % (self.src_ring, self.src_ring + ring_bytes - 1)
+            )
 
 
 class ReliableChannel:
@@ -65,12 +129,13 @@ class ReliableChannel:
     the application received -- the exactly-once property the tests pin.
     """
 
-    def __init__(self, system, src_node_id, dest_node_id, src_base,
-                 dest_base, name=None, window_slots=4, payload_words=8,
+    def __init__(self, system, src_node_id, dest_node_id, src_base=None,
+                 dest_base=None, name=None, window_slots=4, payload_words=8,
                  ack_poll_ns=600, retransmit_timeout_ns=30_000,
-                 max_timeout_ns=500_000):
-        if src_base % PAGE_SIZE or dest_base % PAGE_SIZE:
-            raise ValueError("channel bases must be page aligned")
+                 max_timeout_ns=500_000, layout=None, on_deliver=None,
+                 dma_lock=None, filter_arrivals=False):
+        if layout is None:
+            layout = ChannelLayout.classic(src_base, dest_base)
         if window_slots < 1 or payload_words < 1:
             raise ValueError("window_slots and payload_words must be >= 1")
         self.system = system
@@ -89,21 +154,42 @@ class ReliableChannel:
                 "ring of %d bytes exceeds one page; shrink window_slots or "
                 "payload_words" % ring_bytes
             )
+        layout.check_ring(ring_bytes)
         self.ack_poll_ns = ack_poll_ns
         self.retransmit_timeout_ns = retransmit_timeout_ns
         self.max_timeout_ns = max_timeout_ns
 
-        self.src_base = src_base
-        self.dest_base = dest_base
-        self.ack_src_addr = dest_base + PAGE_SIZE  # receiver writes here
-        self.ack_dest_addr = src_base + PAGE_SIZE  # NIC deposits here
-        self.state_addr = dest_base + 2 * PAGE_SIZE
-        self.app_base = dest_base + 3 * PAGE_SIZE
+        self.layout = layout
+        self.src_base = layout.src_ring
+        self.dest_base = layout.dest_ring
+        self.ack_src_addr = layout.ack_src_addr  # receiver writes here
+        self.ack_dest_addr = layout.ack_dest_addr  # NIC deposits here
+        self.state_addr = layout.state_addr
+        self.app_base = layout.app_base
+        self.app_wrap_words = layout.app_wrap_words
+        # Delivery callback: called as ``on_deliver(channel, seq, payload)``
+        # from the receiver driver after each in-order delivery (the
+        # datacenter workload's server/latency hooks).  Runs inside the
+        # receiver process; it must not block.
+        self.on_deliver = on_deliver
+        # Optional node-level DMA arbitration: channels sharing one node's
+        # DMA engine serialise whole frames through this mutex (an un-held
+        # engine silently rejects a second concurrent arm).
+        self.dma_lock = dma_lock
+        # The NIC arrival signal is node-global.  A lone channel re-acks on
+        # every arrival (cheap, and a lost final ack recovers through the
+        # duplicate frame it provokes).  With channels in *both* directions
+        # between two nodes that policy self-sustains: an ack deposit wakes
+        # the reverse channel's receiver, whose re-ack wakes this one, and
+        # the simulation never goes idle.  ``filter_arrivals`` makes the
+        # receiver react only to deposits into its own frame ring.
+        self.filter_arrivals = filter_arrivals
+        self.ring_bytes = ring_bytes
 
         # The two hardware mappings (kept for crash-time invalidation).
         self.mappings = [
-            establish(self.src, src_base, self.dest, dest_base, ring_bytes,
-                      MappingMode.DELIBERATE),
+            establish(self.src, self.src_base, self.dest, self.dest_base,
+                      ring_bytes, MappingMode.DELIBERATE),
             establish(self.dest, self.ack_src_addr, self.src,
                       self.ack_dest_addr, 4, MappingMode.AUTO_SINGLE),
         ]
@@ -122,6 +208,10 @@ class ReliableChannel:
         self._tx_busy = False
         self._rx_busy = False
         self._force_retransmit = False
+        # Doorbell: an idle sender (nothing queued, nothing unacked, not
+        # closed) parks here instead of polling; send()/close() ring it.
+        self._doorbell = Signal(system.sim, self.name + ".doorbell")
+        self._tx_parked = False
 
         self.instr = Instrumentation.of(system.sim)
         self.frames_sent = self.instr.counter(self.name + ".frames_sent")
@@ -142,10 +232,14 @@ class ReliableChannel:
         if self.closed:
             raise RuntimeError("channel %s is closed" % self.name)
         self.outbox.append(payload)
+        if self._tx_parked:
+            self._doorbell.fire()
 
     def close(self):
         """No more payloads; endpoints may finish once everything is acked."""
         self.closed = True
+        if self._tx_parked:
+            self._doorbell.fire()
 
     @property
     def total(self):
@@ -164,8 +258,17 @@ class ReliableChannel:
         return self.dest.memory.read_word(self.state_addr)
 
     def app_words(self):
-        """The application receive buffer contents, as delivered so far."""
+        """The application receive buffer contents, as delivered so far.
+
+        With a wrapped (bounded) buffer only the unwrapped prefix is
+        recoverable; callers of this helper use unbounded layouts.
+        """
         cursor = self.dest.memory.read_word(self.state_addr + 4)
+        if self.app_wrap_words is not None and cursor > self.app_wrap_words:
+            raise RuntimeError(
+                "%s: application buffer has wrapped; app_words() is only "
+                "meaningful for unbounded layouts" % self.name
+            )
         if cursor == 0:
             return []
         return self.dest.memory.read_words(self.app_base, cursor)
@@ -286,6 +389,20 @@ class ReliableChannel:
                     yield from self._send_frame(seq)
                 last_send = sim.now
                 timeout = min(timeout * 2, self.max_timeout_ns)
+            # An idle sender -- everything acked, nothing queued, channel
+            # still open -- parks on the doorbell instead of burning a
+            # poll event every ack_poll_ns forever; send()/close() ring
+            # it.  (Channels whose traffic is queued before start never
+            # reach this state, so their event schedules are unchanged.)
+            if (not self.closed and self.base >= self.next_seq
+                    and self.next_seq >= len(self.outbox)):
+                self._tx_parked = True
+                try:
+                    yield Wait(self._doorbell)
+                finally:
+                    self._tx_parked = False
+                last_send = sim.now
+                continue
             # Sleep to the next poll tick -- but never past the retransmit
             # deadline.  A fixed ack_poll_ns sleep aliased the timeout
             # check: retransmission fired up to a full poll interval late,
@@ -301,6 +418,8 @@ class ReliableChannel:
 
     def _send_frame(self, seq):
         """Generator: fill the ring slot for ``seq`` and arm its DMA."""
+        if self.dma_lock is not None:
+            yield from self.dma_lock.acquire(owner=self.name)
         self._tx_busy = True
         try:
             payload = self.outbox[seq]
@@ -324,6 +443,8 @@ class ReliableChannel:
             self.frames_sent.bump()
         finally:
             self._tx_busy = False
+            if self.dma_lock is not None:
+                self.dma_lock.release()
 
     # -- the receiver driver ---------------------------------------------------
 
@@ -344,7 +465,17 @@ class ReliableChannel:
         while True:
             self._scan_slots()
             yield from self._write_ack()
-            yield arrival
+            while True:
+                packet = yield arrival
+                if not self.filter_arrivals or self._arrival_is_mine(packet):
+                    break
+
+    def _arrival_is_mine(self, packet):
+        """True when the deposited packet landed in this channel's ring."""
+        if packet is None:
+            return True
+        addr = packet.dest_addr
+        return self.dest_base <= addr < self.dest_base + self.ring_bytes
 
     def _scan_slots(self):
         """Deliver every consecutive valid frame waiting in the ring."""
@@ -368,10 +499,22 @@ class ReliableChannel:
             )
             cursor = mem.read_word(self.state_addr + 4)
             if payload:
-                mem.write_words(self.app_base + 4 * cursor, payload)
+                wrap = self.app_wrap_words
+                if wrap is None:
+                    mem.write_words(self.app_base + 4 * cursor, payload)
+                else:
+                    # Bounded buffer: the cursor keeps counting, writes
+                    # wrap -- an open-ended stream stays inside its arena.
+                    for index, word in enumerate(payload):
+                        mem.write_word(
+                            self.app_base + 4 * ((cursor + index) % wrap),
+                            word,
+                        )
             mem.write_word(self.state_addr + 4, cursor + nwords)
             mem.write_word(self.state_addr, expected + 1)
             self.delivered.append((expected, list(payload)))
+            if self.on_deliver is not None:
+                self.on_deliver(self, expected, list(payload))
 
     def _write_ack(self):
         """Generator: store the cumulative ack through the return mapping."""

@@ -128,8 +128,49 @@ class Kernel:
         )
         node.cpu.syscall_handler = self._syscall_handler
         node.cpu.fault_handler = self._fault_handler
+        # Machine-wide placement policy (repro.machine.addrmap), installed
+        # by Cluster at boot; None on a bare kernel.
+        # simlint: ignore[SL201] immutable policy object installed at
+        # boot, a pure function of the cluster construction arguments --
+        # restore rebuilds the cluster with the same arguments
+        self.addr_map = None
         # simlint: ignore[SL201] start-once latch (wiring, not state)
         self._started = False
+
+    # -- placement (shared service address space) -------------------------------
+
+    def set_addr_map(self, addr_map):
+        """Install the machine-wide :class:`~repro.machine.addrmap.AddrMap`.
+
+        Every kernel of a cluster shares one map, so any node resolves a
+        global service address to the same owner -- the placement
+        primitive the workload generator and future DSM ownership build
+        on.
+        """
+        self.addr_map = addr_map
+
+    def home_node(self, global_addr):
+        """Owning node id of a global service address.
+
+        This is a pure policy lookup (no charged kernel instructions):
+        placement decisions happen at mapping-establishment time, whose
+        cost is already modelled by the ``sys_map`` path.
+        """
+        if self.addr_map is None:
+            raise KernelError(
+                "%s: no address map installed (bare kernel; boot via "
+                "Cluster or call set_addr_map)" % self.node.name
+            )
+        return self.addr_map.node_of(global_addr)
+
+    def home_slice(self, global_addr):
+        """``(node id, local byte offset)`` of a global service address."""
+        if self.addr_map is None:
+            raise KernelError(
+                "%s: no address map installed (bare kernel; boot via "
+                "Cluster or call set_addr_map)" % self.node.name
+            )
+        return self.addr_map.locate(global_addr)
 
     # -- identifiers ------------------------------------------------------------
 

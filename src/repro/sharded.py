@@ -41,6 +41,7 @@ from repro.faults.controller import FaultController
 from repro.faults.plan import FaultPlan
 from repro.faults.scenario import build_storm_with_channel
 from repro.machine.sharding import ShardWorld, boundary_link_map
+from repro.mesh.topology import MeshTopology
 from repro.sim.shard import (
     Conductor,
     InlineHost,
@@ -48,6 +49,8 @@ from repro.sim.shard import (
     ShardError,
     merge_observables,
 )
+from repro.workload.generator import DatacenterWorkload
+from repro.workload.traffic import WorkloadParams
 
 #: Default fault plan seed for the ``fault_storm`` scenario.
 STORM_SEED = 0xC0FFEE
@@ -91,18 +94,49 @@ def _scenario_fault_storm(words_per_sender=12, fault_seed=STORM_SEED):
     return system, controller, processes
 
 
-#: name -> (builder, mesh width, mesh height).  Builders return
+def _scenario_workload(**kwargs):
+    """The open-loop datacenter workload (:mod:`repro.workload`).
+
+    Accepts every :class:`~repro.workload.traffic.WorkloadParams` field
+    as a keyword (width, height, seed, requests, addr_map, ...).  The
+    workload is started here so its driver processes exist for shard
+    deactivation; the conductor (or ``system.run()``) does the running.
+    """
+    workload = DatacenterWorkload(WorkloadParams(**kwargs)).start()
+    return workload.system, None, tuple(workload.node_processes())
+
+
+class ScenarioSpec:
+    """A named scenario: its builder plus enough static knowledge (the
+    mesh topology as a function of the build kwargs) for the conductor to
+    derive boundary maps without constructing a system in the parent."""
+
+    def __init__(self, builder, width, height, dims_from_kwargs=False):
+        self.builder = builder
+        self.width = width
+        self.height = height
+        self.dims_from_kwargs = dims_from_kwargs
+
+    def topology(self, kwargs):
+        if self.dims_from_kwargs:
+            return MeshTopology(kwargs.get("width", self.width),
+                                kwargs.get("height", self.height))
+        return MeshTopology(self.width, self.height)
+
+
+#: name -> ScenarioSpec.  Builders return
 #: ``(system, fault controller or None, ((node_id, process), ...))``.
 SHARD_SCENARIOS = {
-    "ping_pong": (_scenario_ping_pong, 2, 1),
-    "bandwidth": (_scenario_bandwidth, 2, 1),
-    "contention": (_scenario_contention, 4, 4),
-    "fault_storm": (_scenario_fault_storm, 4, 4),
+    "ping_pong": ScenarioSpec(_scenario_ping_pong, 2, 1),
+    "bandwidth": ScenarioSpec(_scenario_bandwidth, 2, 1),
+    "contention": ScenarioSpec(_scenario_contention, 4, 4),
+    "fault_storm": ScenarioSpec(_scenario_fault_storm, 4, 4),
+    "workload": ScenarioSpec(_scenario_workload, 4, 4, dims_from_kwargs=True),
 }
 
 
 def _build(name, collect_events=False, **kwargs):
-    builder = SHARD_SCENARIOS[name][0]
+    builder = SHARD_SCENARIOS[name].builder
     system, controller, processes = builder(**kwargs)
     if collect_events:
         system.instrumentation.enable_events()
@@ -160,7 +194,7 @@ def run_sharded(name, shards, backend="inline", collect_events=False,
         raise ShardError("need at least one shard, got %d" % shards)
     if shards == 1:
         return run_single(name, collect_events=collect_events, **kwargs)
-    _builder, width, height = SHARD_SCENARIOS[name]
+    topology = SHARD_SCENARIOS[name].topology(kwargs)
     if backend == "inline":
         hosts = [
             InlineHost(
@@ -180,7 +214,7 @@ def run_sharded(name, shards, backend="inline", collect_events=False,
         ]
     else:
         raise ShardError("unknown backend %r" % (backend,))
-    conductor = Conductor(hosts, boundary_link_map(width, height, shards))
+    conductor = Conductor(hosts, boundary_link_map(topology, shards))
     try:
         result = conductor.run(max_events=max_events)
     finally:

@@ -40,6 +40,26 @@ class MetricError(Exception):
     """Raised for registry misuse (kind clash on an existing name)."""
 
 
+def nearest_rank(sorted_values, p):
+    """The nearest-rank ``p``-th percentile of a sorted sequence.
+
+    Rank ``ceil(p / 100 * n)`` (1-based, clamped to at least 1) -- the
+    classic definition: the smallest value with at least ``p`` percent of
+    the observations at or below it.  ``None`` on an empty sequence.
+    This is the one percentile definition used across the tree
+    (:meth:`Histogram.percentile`, ``repro.analysis.packets``).
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return None
+    if not 0 < p <= 100:
+        raise ValueError("percentile must be in (0, 100], got %r" % (p,))
+    rank = -(-p * n // 100)  # ceil without float error at n ~ 10**6
+    if rank < 1:
+        rank = 1
+    return sorted_values[int(rank) - 1]
+
+
 class Histogram:
     """A power-of-two-bucketed value histogram (latencies, sizes).
 
@@ -78,6 +98,36 @@ class Histogram:
             (0 if index == 0 else 1 << (index - 1), self._buckets[index])
             for index in sorted(self._buckets)
         ]
+
+    def percentile(self, p):
+        """Nearest-rank ``p``-th percentile, resolved to bucket precision.
+
+        Finds the bucket holding the observation of rank
+        ``ceil(p / 100 * count)`` (see :func:`nearest_rank`) and reports
+        that bucket's inclusive upper bound -- the tightest value the
+        power-of-two buckets can guarantee the rank-th observation does
+        not exceed, which is the conservative direction for latency SLOs.
+        ``None`` while empty.  Exact min/max are tracked separately, so
+        the reported value never strays outside ``[min, max]``.
+        """
+        if self.count == 0:
+            return None
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100], got %r" % (p,))
+        rank = -(-p * self.count // 100)
+        if rank < 1:
+            rank = 1
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                upper = 0 if index == 0 else (1 << index) - 1
+                if upper > self.max:
+                    upper = self.max
+                if upper < self.min:
+                    upper = self.min
+                return upper
+        return self.max  # unreachable unless counts drift; stay safe
 
     def reset(self):
         self.count = 0
@@ -291,6 +341,9 @@ class Instrumentation:
             "min": metric.min,
             "max": metric.max,
             "mean": metric.mean(),
+            "p50": metric.percentile(50),
+            "p99": metric.percentile(99),
+            "p999": metric.percentile(99.9),
             "buckets": [list(pair) for pair in metric.buckets()],
         }
 

@@ -1,0 +1,292 @@
+"""Build and run the datacenter workload on a SHRIMP machine.
+
+:class:`DatacenterWorkload` turns a :class:`~repro.workload.traffic.
+WorkloadParams` into a complete, started system:
+
+- a :class:`~repro.machine.system.ShrimpSystem` on the ``datacenter``
+  hardware config (geometry from :class:`~repro.mesh.topology.
+  MeshTopology`);
+- for every distinct (client node, home node) pair in the schedule, a
+  request channel and a response channel
+  (:class:`~repro.msg.reliable.ReliableChannel`) with packed arena
+  layouts (:mod:`repro.workload.arena`), sharing each node's DMA engine
+  through one arbitration mutex;
+- one frontend process per client node, multiplexing that node's
+  simulated clients: it replays the precomputed Poisson arrivals,
+  stamping each request frame with (index, send time, key);
+- server and latency hooks on the channels' ``on_deliver``: the home
+  node echoes the request frame back on the response channel, and the
+  client side observes ``now - send time`` into the global
+  ``workload.latency_ns`` histogram.
+
+SLO metrics (single-shard and sharded runs produce the same values):
+
+- ``workload.latency_ns`` -- request/response round-trip histogram; its
+  summary carries p50/p99/p999;
+- ``workload.requests`` / ``workload.responses`` -- issued and completed
+  remote requests (goodput = responses / simulated time);
+- ``workload.local`` -- requests whose key lived on the issuing node
+  (served from local memory; no mesh traffic, not latency-tracked).
+
+Everything is constructed before the simulation starts and the whole
+construction is a pure function of the parameters, so a sharded run
+builds bit-identical replicas (see ``repro.sharded``'s ``workload``
+scenario and the PR-6 equivalence machinery).
+"""
+
+from repro.machine.config import datacenter
+from repro.machine.system import ShrimpSystem
+from repro.memsys.address import PAGE_SIZE
+from repro.mesh.topology import MeshTopology
+from repro.msg.reliable import ChannelLayout, ReliableChannel
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Mutex
+from repro.workload.arena import NodeArena
+from repro.workload.traffic import WorkloadParams, build_schedule
+
+LATENCY_METRIC = "workload.latency_ns"
+REQUESTS_METRIC = "workload.requests"
+RESPONSES_METRIC = "workload.responses"
+LOCAL_METRIC = "workload.local"
+
+
+class DatacenterWorkload:
+    """One workload run: machine, channels, frontends, metrics."""
+
+    def __init__(self, params=None, params_factory=datacenter, sim=None):
+        self.params = params or WorkloadParams()
+        self.topology = MeshTopology(self.params.width, self.params.height)
+        self.system = ShrimpSystem(
+            self.params.width, self.params.height,
+            params_factory=params_factory, sim=sim,
+        )
+        self.schedule = build_schedule(self.params, self.topology)
+        self.addr_map = self.params.make_addr_map(self.topology.node_count)
+
+        hub = self.system.instrumentation
+        # Literal names (the SL302 contract); the module constants above
+        # are the same strings, for consumers like slo_from_fingerprint.
+        self.latency_hist = hub.histogram("workload.latency_ns")
+        self.requests_sent = hub.counter("workload.requests")
+        self.responses_done = hub.counter("workload.responses")
+        self.local_hits = hub.counter("workload.local")
+
+        # Distinct remote pairs in first-appearance order: the canonical
+        # construction walk every shard repeats identically.
+        self.pairs = []
+        self.pair_requests = {}
+        per_node = {}
+        for request in self.schedule:
+            if request.home_node == request.src_node:
+                continue
+            pair = (request.src_node, request.home_node)
+            if pair not in self.pair_requests:
+                self.pair_requests[pair] = 0
+                self.pairs.append(pair)
+            self.pair_requests[pair] += 1
+            per_node.setdefault(request.src_node, [])
+        for request in self.schedule:
+            per_node.setdefault(request.src_node, []).append(request)
+        self._per_node = per_node
+
+        # One arena and one DMA arbitration mutex per node, created only
+        # for nodes that terminate a channel (deterministic pair order).
+        dram_bytes = self.system.params.dram_bytes
+        self._arenas = {}
+        self._dma_locks = {}
+        self.req_channels = {}
+        self.resp_channels = {}
+        self._responses_enqueued = {}
+        wrap_words = self.params.window_slots * self.params.payload_words
+        for pair in self.pairs:
+            src, dst = pair
+            req = self._make_channel(
+                src, dst, "wl.req.%d_%d" % pair, wrap_words, dram_bytes,
+                on_deliver=self._server_hook(pair),
+            )
+            resp = self._make_channel(
+                dst, src, "wl.rsp.%d_%d" % pair, wrap_words, dram_bytes,
+                on_deliver=self._latency_hook,
+            )
+            self.req_channels[pair] = req
+            self.resp_channels[pair] = resp
+            self._responses_enqueued[pair] = 0
+
+        self._frontends = []  # (node_id, Process), for shard deactivation
+        self._started = False
+
+    # -- construction helpers --------------------------------------------------
+
+    def _arena(self, node_id, dram_bytes):
+        arena = self._arenas.get(node_id)
+        if arena is None:
+            arena = NodeArena(node_id, PAGE_SIZE, dram_bytes)
+            self._arenas[node_id] = arena
+        return arena
+
+    def _dma_lock(self, node_id):
+        lock = self._dma_locks.get(node_id)
+        if lock is None:
+            lock = Mutex(self.system.sim, "wl.dma(%d)" % node_id)
+            self._dma_locks[node_id] = lock
+        return lock
+
+    def _make_channel(self, src, dst, name, wrap_words, dram_bytes,
+                      on_deliver):
+        params = self.params
+        slot_bytes = (params.payload_words + 3) * 4
+        ring_bytes = params.window_slots * slot_bytes
+        src_arena = self._arena(src, dram_bytes)
+        dst_arena = self._arena(dst, dram_bytes)
+        layout = ChannelLayout(
+            src_ring=src_arena.alloc_mapout(ring_bytes),
+            ack_dest_addr=src_arena.alloc_packed(4),
+            dest_ring=dst_arena.alloc_packed(ring_bytes),
+            ack_src_addr=dst_arena.alloc_mapout(4),
+            state_addr=dst_arena.alloc_packed(8),
+            app_base=dst_arena.alloc_packed(4 * wrap_words),
+            app_wrap_words=wrap_words,
+        )
+        return ReliableChannel(
+            self.system, src, dst, name=name, layout=layout,
+            window_slots=params.window_slots,
+            payload_words=params.payload_words,
+            on_deliver=on_deliver, dma_lock=self._dma_lock(src),
+            filter_arrivals=True,
+        )
+
+    # -- delivery hooks (run inside the receiver driver processes) -------------
+
+    def _server_hook(self, pair):
+        """Echo every request back on the pair's response channel."""
+
+        def on_request(_channel, _seq, payload):
+            resp = self.resp_channels[pair]
+            resp.send(payload)
+            self._responses_enqueued[pair] += 1
+            if self._responses_enqueued[pair] == self.pair_requests[pair]:
+                resp.close()
+
+        return on_request
+
+    def _latency_hook(self, _channel, _seq, payload):
+        """Observe the round trip on the issuing node's side."""
+        send_ns = payload[1]
+        latency = (self.system.sim.now - send_ns) & 0xFFFFFFFF
+        self.latency_hist.observe(latency)
+        self.responses_done.bump()
+
+    # -- the frontends ---------------------------------------------------------
+
+    def _frontend_body(self, node_id, entries):
+        sim = self.system.sim
+        for request in entries:
+            if request.arrival_ns > sim.now:
+                yield Timeout(request.arrival_ns - sim.now)
+            if request.home_node == node_id:
+                self.local_hits.bump()
+                continue
+            channel = self.req_channels[(node_id, request.home_node)]
+            channel.send([
+                request.index & 0xFFFFFFFF,
+                sim.now & 0xFFFFFFFF,
+                request.key & 0xFFFFFFFF,
+            ])
+            self.requests_sent.bump()
+        # This node's clients are done; close its request channels so the
+        # senders can retire once everything is acked.
+        for (src, _dst), channel in self.req_channels.items():
+            if src == node_id and not channel.closed:
+                channel.close()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        """Start the machine, the channels, and the frontends."""
+        if self._started:
+            return self
+        self._started = True
+        self.system.start()
+        for pair in self.pairs:
+            self.req_channels[pair].start()
+            self.resp_channels[pair].start()
+        for node_id in sorted(self._per_node):
+            process = Process(
+                self.system.sim,
+                self._frontend_body(node_id, self._per_node[node_id]),
+                "wl.frontend(%d)" % node_id,
+            ).start()
+            self._frontends.append((node_id, process))
+        return self
+
+    def node_processes(self):
+        """Every workload process with its owning node, for
+        :class:`~repro.machine.sharding.ShardWorld` deactivation."""
+        procs = []
+        for pair in self.pairs:
+            req = self.req_channels[pair]
+            resp = self.resp_channels[pair]
+            procs.append((req.src_node_id, req._tx_proc))
+            procs.append((req.dest_node_id, req._rx_proc))
+            procs.append((resp.src_node_id, resp._tx_proc))
+            procs.append((resp.dest_node_id, resp._rx_proc))
+        procs.extend(self._frontends)
+        return procs
+
+    def run(self, max_events=50_000_000):
+        """Run to completion (all channels drained, frontends finished)."""
+        self.start()
+        self.system.run(max_events=max_events)
+        return self
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self):
+        """JSON-safe SLO summary of a completed single-process run."""
+        hub = self.system.instrumentation
+        return slo_summary(
+            latency=hub.summary(LATENCY_METRIC),
+            requests=hub.value(REQUESTS_METRIC),
+            responses=hub.value(RESPONSES_METRIC),
+            local=hub.value(LOCAL_METRIC),
+            now_ns=self.system.sim.now,
+            params=self.params,
+        )
+
+
+def slo_summary(latency, requests, responses, local, now_ns, params):
+    """Assemble the SLO record shared by the CLI, benchmarks and tests."""
+    seconds = now_ns / 1e9 if now_ns else 0.0
+    return {
+        "params": params.describe(),
+        "duration_ns": now_ns,
+        "requests": requests,
+        "responses": responses,
+        "local": local,
+        "p50_ns": latency.get("p50"),
+        "p99_ns": latency.get("p99"),
+        "p999_ns": latency.get("p999"),
+        "mean_ns": latency.get("mean"),
+        "offered_load_rps": params.offered_load_rps,
+        "goodput_rps": (responses / seconds) if seconds else None,
+    }
+
+
+def slo_from_fingerprint(fingerprint, params):
+    """Extract the SLO record from a run fingerprint (works on merged
+    sharded fingerprints exactly as on single-shard ones)."""
+    import json
+
+    metrics = {}
+    for line in fingerprint["metrics"]:
+        record = json.loads(line)
+        metrics[record["name"]] = record
+    latency = metrics.get(LATENCY_METRIC, {})
+    return slo_summary(
+        latency=latency,
+        requests=metrics.get(REQUESTS_METRIC, {}).get("value", 0),
+        responses=metrics.get(RESPONSES_METRIC, {}).get("value", 0),
+        local=metrics.get(LOCAL_METRIC, {}).get("value", 0),
+        now_ns=fingerprint["now"],
+        params=params,
+    )

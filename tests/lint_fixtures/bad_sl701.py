@@ -1,0 +1,14 @@
+# simlint: scope=sim
+"""SL701: inline y*width+x re-implements the mesh address layout."""
+
+
+def node_for(x, y, width):
+    return y * width + x
+
+
+def neighbour_east(self, x, y):
+    return self.nodes[y * self.width + (x + 1)]
+
+
+def wrap_south(topology, x, y):
+    return x + ((y + 1) % topology.height) * topology.width

@@ -1,0 +1,22 @@
+# simlint: scope=sim
+"""SL701 pass: node ids come from the topology object.
+
+Area/capacity products (no addition) and additions without a dimension
+product are ordinary arithmetic, not an address-layout copy.
+"""
+
+
+def node_for(topology, x, y):
+    return topology.node_at(x, y)
+
+
+def neighbour_east(self, x, y):
+    return self.nodes[self.topology.node_at(x + 1, y)]
+
+
+def link_budget(width, height):
+    return 2 * width * height  # a capacity, not a node id
+
+
+def padded(width, pad):
+    return width + pad

@@ -27,6 +27,7 @@ ALL_CODES = [
     "SL401", "SL402", "SL403",
     "SL501",
     "SL601",
+    "SL701",
 ]
 
 

@@ -19,8 +19,15 @@ from repro.nic.nipt import MappingMode, NiptError
 class TestConfigs:
     def test_presets_registered(self):
         assert set(CONFIGS) == {
-            "eisa-prototype", "next-generation", "pram-testbed"
+            "eisa-prototype", "next-generation", "pram-testbed", "datacenter"
         }
+
+    def test_datacenter_scales_down_per_node_footprint(self):
+        from repro.machine.config import datacenter
+
+        params = datacenter()
+        assert params.dram_bytes == 1024 * 1024
+        assert not params.nic.incoming_via_eisa  # next-generation timing
 
     def test_factories_return_fresh_objects(self):
         a, b = eisa_prototype(), eisa_prototype()

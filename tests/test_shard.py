@@ -21,6 +21,7 @@ from repro.machine.sharding import (
     boundary_link_map,
     partition,
 )
+from repro.mesh.topology import MeshTopology
 from repro.sharded import run_sharded, run_single
 from repro.sim.shard import ShardError
 
@@ -67,17 +68,22 @@ def test_partition_contiguous_chunks():
 
 
 def test_boundary_link_map_names_only_crossing_links():
-    links = boundary_link_map(4, 4, 2)
+    topo = MeshTopology(4, 4)
+    links = boundary_link_map(topo, 2)
     # Nodes 0..7 are rows y=0,1; the boundary is the y=1 / y=2 seam.
     assert links == {
         "link(%d,1)->(%d,2)" % (x, x): (0, 1) for x in range(4)
     } | {
         "link(%d,2)->(%d,1)" % (x, x): (1, 0) for x in range(4)
     }
-    assert boundary_link_map(4, 4, 1) == {}
+    assert boundary_link_map(topo, 1) == {}
     # Every link in the 4-shard map crosses a row seam, never a column.
-    for name, (writer, reader) in boundary_link_map(4, 4, 4).items():
+    for name, (writer, reader) in boundary_link_map(topo, 4).items():
         assert writer != reader, name
+    # At 32x32 the map is pure topology: derivable without any system.
+    big = boundary_link_map(MeshTopology(32, 32), 4)
+    assert len(big) == 3 * 2 * 32  # three row seams, two directions each
+    assert all(writer != reader for writer, reader in big.values())
 
 
 # -- the equivalence matrix ---------------------------------------------------
