@@ -7,7 +7,7 @@ export PYTHONPATH
 export PYTHONHASHSEED := 0
 
 .PHONY: test test-fast lint bench-simspeed bench-ckpt bench-recovery \
-	bench-shard bench-workload
+	bench-shard bench-workload bench-dsm
 
 # Tier-1 suite (everything); lints first.
 test: lint
@@ -58,6 +58,13 @@ bench-recovery:
 # only -- see docs/simulation.md "Sharded execution".
 bench-shard:
 	python -m benchmarks.bench_shard $(if $(FORCE),--force)
+
+# DSM fetch/upgrade latency and protocol traffic for the fetch-on-fault
+# app family (stencil/bfs/kv), every run verified against its closed
+# form first.  Records BENCH_dsm.json; refuses a >25% latency/traffic
+# or >50% wall-time regression (FORCE=1 overrides).  See docs/dsm.md.
+bench-dsm:
+	python -m benchmarks.bench_dsm $(if $(FORCE),--force)
 
 # Datacenter-workload SLO numbers (p50/p99/p999 round-trip latency,
 # goodput vs offered load) on a 32x32 mesh, one run per placement

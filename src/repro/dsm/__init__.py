@@ -1,0 +1,46 @@
+"""Fetch-on-fault distributed shared memory over SHRIMP mappings.
+
+The pull side the paper's section 4.4 machinery makes cheap: local
+access to a non-resident shared page faults, the fault handler fetches
+the page from its home over a reliable channel, and a single-writer/
+multi-reader directory protocol keeps copies coherent with the same
+NIPT-consistency walk crash recovery uses.  See docs/dsm.md.
+
+- :class:`~repro.dsm.state.DsmLayout` -- where frames, page states and
+  the directory live in every node's DRAM
+- :class:`~repro.dsm.runtime.DsmRuntime` -- the protocol engine
+- :class:`~repro.dsm.segment.DsmSegment` -- per-node load/store API
+- :class:`~repro.dsm.sync.DsmBarrier` / :class:`~repro.dsm.sync.DsmLock`
+  -- synchronisation folded onto DSM pages
+
+Run the shared-memory app family with ``python -m repro.dsm``.
+"""
+
+from repro.dsm.runtime import DsmRuntime
+from repro.dsm.segment import DsmSegment
+from repro.dsm.state import (
+    FETCHING,
+    INVALID,
+    READ,
+    WRITE,
+    Directory,
+    DsmError,
+    DsmLayout,
+    PageStateTable,
+)
+from repro.dsm.sync import DsmBarrier, DsmLock
+
+__all__ = [
+    "DsmBarrier",
+    "DsmError",
+    "DsmLayout",
+    "DsmLock",
+    "DsmRuntime",
+    "DsmSegment",
+    "Directory",
+    "PageStateTable",
+    "INVALID",
+    "FETCHING",
+    "READ",
+    "WRITE",
+]

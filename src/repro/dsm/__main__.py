@@ -1,0 +1,100 @@
+"""Command-line runner for the DSM app family.
+
+Examples::
+
+    python -m repro.dsm --kind stencil --width 8 --height 8
+    python -m repro.dsm --kind bfs --width 4 --height 4 --json
+    python -m repro.dsm --kind kv --requests 64 --shards 4
+
+Reports the ``dsm.*`` metrics namespace -- faults, fetches,
+invalidations, recalls, and the fetch/upgrade latency histograms -- and
+checks the app's expected result where one is closed-form (stencil page
+contents, BFS distances).  ``--shards`` reruns the same build through
+:mod:`repro.sharded`; fingerprints are bit-identical to ``--shards 1``.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.sim.instrument import Instrumentation
+from repro.workload.dsm_apps import APP_KINDS, DsmWorkload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dsm",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--kind", choices=APP_KINDS, default="stencil")
+    parser.add_argument("--width", type=int, default=4)
+    parser.add_argument("--height", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="stencil iterations")
+    parser.add_argument("--words", type=int, default=8,
+                        help="stencil words written per page per iteration")
+    parser.add_argument("--seed", type=int, default=1, help="kv seed")
+    parser.add_argument("--requests", type=int, default=32,
+                        help="kv request count")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run through repro.sharded with this many shards")
+    parser.add_argument("--backend", choices=("inline", "process"),
+                        default="inline")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the metrics snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    kwargs = dict(kind=args.kind, width=args.width, height=args.height,
+                  iterations=args.iterations, words=args.words,
+                  seed=args.seed, requests=args.requests)
+
+    if args.shards > 1:
+        from repro.sharded import run_sharded
+
+        result = run_sharded("dsm", args.shards, backend=args.backend,
+                             **kwargs)
+        shas = result["fingerprint"]["memory_sha256"]
+        print("dsm %s %dx%d over %d shards: %d node memories, sha %s... @ %d ns"
+              % (args.kind, args.width, args.height, args.shards, len(shas),
+                 " ".join(sha[:8] for sha in shas[:4]),
+                 result["fingerprint"]["now"]))
+        return 0
+
+    workload = DsmWorkload(**kwargs).start()
+    workload.run()
+    instr = Instrumentation.of(workload.system.sim)
+
+    checked = "unchecked"
+    if args.kind == "stencil":
+        ok = workload.final_shared_bytes() == workload.expected_stencil()
+        checked = "ok" if ok else "MISMATCH"
+    elif args.kind == "bfs":
+        dist = [workload.segments[0].peek(workload._bfs_addr(i))
+                for i in range(workload.node_count)]
+        ok = dist == workload.expected_bfs()
+        checked = "ok" if ok else "MISMATCH"
+    else:
+        ok = True
+
+    if args.json:
+        record = {"kind": args.kind, "width": args.width,
+                  "height": args.height, "duration_ns": workload.system.sim.now,
+                  "result": checked, "metrics": instr.snapshot("dsm.")}
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print("dsm %s %dx%d: result %s, %d ns"
+          % (args.kind, args.width, args.height, checked,
+             workload.system.sim.now))
+    for name in ("dsm.faults", "dsm.fetches", "dsm.invalidations",
+                 "dsm.recalls"):
+        print("  %-20s %d" % (name, instr.value(name)))
+    for name in ("dsm.fetch_ns", "dsm.upgrade_ns"):
+        summary = instr.summary(name)
+        print("  %-20s n=%d p50=%s p99=%s" % (
+            name, summary["count"], summary["p50"], summary["p99"]))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

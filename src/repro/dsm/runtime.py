@@ -1,0 +1,697 @@
+"""The DSM protocol engine: fetch-on-fault, single-writer/multi-reader.
+
+One :class:`DsmRuntime` owns the whole machine's shared-page coherence.
+Per node it runs a *service* process (the software DSM handler the
+paper's fault model implies) that drains an inbox of protocol messages;
+per communicating node pair it owns a :class:`~repro.msg.reliable.
+ReliableChannel` in each direction, so every protocol message is
+exactly-once and in-order even under a FaultPlan.
+
+Protocol shape (the Pilevisor ``vsm.c`` lineage: owner lookup, read
+request, read reply, cache install -- with the directory at the home
+node the :class:`~repro.machine.addrmap.AddrMap` picks):
+
+- a local access to a non-resident page **faults** (:meth:`DsmRuntime.
+  fault`): the faulting node maps its frame in, marks it FETCHING and
+  sends ``READ_REQ``/``WRITE_REQ`` to the page's home;
+- the **home** serialises transactions per page.  A read grant recalls
+  the current writer if any (``RECALL_READ`` -- the writer pushes the
+  page home and keeps a read copy), registers the reader, pushes the
+  page and sends ``READ_OK``.  A write grant recalls the writer
+  (``RECALL_WRITE`` -- push home, drop copy), then walks every reader
+  copy with ``INVAL_REQ`` in sorted node order -- the same section 4.4
+  NIPT-consistency walk crash recovery uses -- and only after the last
+  ``INVAL_ACK`` pushes the page and sends ``WRITE_OK``;
+- **data** moves as one page-sized deliberate-update DMA through a
+  transient outgoing NIPT half (section 4.3's one-page send), always
+  relayed through the home.  The home's frame is the memory copy.  Data
+  and the grant that follows it share one mesh path, so the paper's
+  per-sender in-order delivery makes the deposit land first.
+
+Grants carry a **token** the requester chose; a requester accepts a
+grant only while FETCHING with a matching token.  Tokens are runtime
+(not DRAM) state, monotonic per node, so a grant that was in flight
+across a crash/restore is ignored and the restarted requester re-faults
+-- and because grants *always* re-push data, the re-fault restores the
+page bytes no matter what the rollback undid.  The home records the
+last granted ``(requester, kind, token)`` per page in the directory, so
+a duplicate delivery of an already-granted request (a retry that raced
+its own grant) is dropped instead of re-pushing the home's stale copy
+over whatever the new owner has written since.  All durable protocol
+state (page states, directory, frame bytes) lives in DRAM, so a node
+checkpoint rolls it back consistently and channel replay re-drives the
+service deterministically: crash recovery is rollback + replay, exactly
+the :mod:`repro.msg.reliable` story.
+
+Shard safety: a node's service only ever touches that node's hardware;
+every cross-node effect is a message or a DMA.  The ``dsm`` scenario in
+``repro.sharded`` pins 1-shard vs 4-shard bit-identity on top of this.
+"""
+
+from collections import deque
+
+from repro.dsm.state import (
+    FETCHING,
+    INVALID,
+    READ,
+    WRITE,
+    Directory,
+    DsmError,
+    DsmLayout,
+    PageStateTable,
+)
+from repro.memsys.address import PAGE_SIZE, WORD_SIZE
+from repro.msg.reliable import ChannelLayout, ReliableChannel
+from repro.nic.command import CommandOp, encode_command
+from repro.nic.nipt import MappingMode, OutgoingHalf
+from repro.sim.instrument import Instrumentation
+from repro.sim.process import Process, Signal, Timeout, Wait
+from repro.sim.resources import Mutex
+from repro.workload.arena import NodeArena
+
+#: Protocol message kinds (one reliable-channel payload is
+#: ``[kind, page, arg]``).
+READ_REQ = 1
+WRITE_REQ = 2
+READ_OK = 3
+WRITE_OK = 4
+RECALL_READ = 5
+RECALL_WRITE = 6
+RECALL_ACK = 7
+INVAL_REQ = 8
+INVAL_ACK = 9
+#: Sync kinds are routed to the object attached to the page
+#: (:mod:`repro.dsm.sync`).
+BARRIER_ARRIVE = 10
+BARRIER_RELEASE = 11
+LOCK_ACQ = 12
+LOCK_GRANT = 13
+LOCK_REL = 14
+
+_SYNC_KINDS = (BARRIER_ARRIVE, BARRIER_RELEASE, LOCK_ACQ, LOCK_GRANT,
+               LOCK_REL)
+
+
+class DsmRuntime:
+    """Build with the system, a :class:`~repro.dsm.state.DsmLayout` and
+    the set of node pairs that will exchange coherence traffic.
+
+    ``pairs`` are unordered ``(a, b)`` node pairs; a channel is built in
+    each direction.  Every node must be paired with the home of every
+    page it touches (requests, grants, recalls and invalidations all
+    travel the requester--home and owner--home edges only).
+    """
+
+    def __init__(self, system, layout, pairs, name="dsm", poll_ns=400,
+                 retry_ns=200_000, access_ns=60, window_slots=4,
+                 ack_poll_ns=600, retransmit_timeout_ns=30_000):
+        if not isinstance(layout, DsmLayout):
+            raise DsmError("layout must be a DsmLayout")
+        n = len(system.nodes)
+        if layout.node_count != n:
+            raise DsmError(
+                "layout built for %d nodes, system has %d"
+                % (layout.node_count, n)
+            )
+        self.system = system
+        self.layout = layout
+        self.name = name
+        self.poll_ns = poll_ns
+        self.retry_ns = retry_ns
+        self.access_ns = access_ns
+
+        self._pstates = [PageStateTable(layout, node) for node in system.nodes]
+        self._dirs = [Directory(layout, node) for node in system.nodes]
+        self._inboxes = [deque() for _ in range(n)]
+        self._signals = [Signal(system.sim, "%s.inbox(%d)" % (name, i))
+                         for i in range(n)]
+        self._txn = [dict() for _ in range(n)]     # home: page -> txn
+        self._defer = [dict() for _ in range(n)]   # home: page -> [(k,s,t)]
+        self._pending = [dict() for _ in range(n)] # requester: page -> token
+        self._token_seq = [0] * n
+        self._busy = [False] * n
+        self._service = [None] * n
+        self._apps = [[] for _ in range(n)]        # (factory, process)
+        self._sync = {}                            # page -> sync object
+
+        # Metrics: registered eagerly so every shard's registry is
+        # identical regardless of which nodes it simulates.
+        hub = Instrumentation.of(system.sim)
+        self.instr = hub
+        self.faults = hub.counter("dsm.faults")
+        self.fetches = hub.counter("dsm.fetches")
+        self.invalidations = hub.counter("dsm.invalidations")
+        self.recalls = hub.counter("dsm.recalls")
+        self.fetch_ns = hub.histogram("dsm.fetch_ns")
+        self.upgrade_ns = hub.histogram("dsm.upgrade_ns")
+
+        # Channel fabric: one reliable channel per direction per pair,
+        # packed into per-node arenas below the DSM metadata region.
+        self._arenas = {}
+        self._dma_locks = {}
+        self._channels = {}
+        self.mappings = []
+        payload_words = 3  # [kind, page, arg]
+        ring_bytes = window_slots * (payload_words + 3) * WORD_SIZE
+        for a, b in sorted({tuple(sorted(p)) for p in pairs}):
+            if a == b:
+                continue
+            for src, dst in ((a, b), (b, a)):
+                channel = ReliableChannel(
+                    system, src, dst,
+                    name="%s%d_%d" % (name, src, dst),
+                    window_slots=window_slots,
+                    payload_words=payload_words,
+                    ack_poll_ns=ack_poll_ns,
+                    retransmit_timeout_ns=retransmit_timeout_ns,
+                    layout=self._channel_layout(src, dst, ring_bytes),
+                    on_deliver=self._make_deliver(dst, src),
+                    dma_lock=self._dma_lock(src),
+                    filter_arrivals=True,
+                )
+                self._channels[(src, dst)] = channel
+                self.mappings.extend(channel.mappings)
+        # A channel's sender never closes: coherence traffic is open-ended,
+        # so idle senders park on the channel doorbell.
+
+        # Every node imports its own homed frames permanently: they are
+        # the memory copies that recalled writers push back into.
+        for page in range(layout.npages):
+            home = layout.home_of(page)
+            system.nodes[home].nic.nipt.map_in(layout.frame_page(page))
+
+        # Arm the DRAM write guard (debugging backstop; SL801 is the
+        # static side).  Writes into a frame are legal from its home
+        # (memory copy, recall imports) or while the local page state
+        # grants or is receiving rights; anything else is a scribble.
+        for node_id, node in enumerate(system.nodes):
+            node.memory.write_guard = self._make_guard(node_id)
+
+    # -- construction helpers --------------------------------------------------
+
+    def _arena(self, node_id):
+        arena = self._arenas.get(node_id)
+        if arena is None:
+            arena = NodeArena(node_id, PAGE_SIZE, self.layout.meta_base)
+            self._arenas[node_id] = arena
+        return arena
+
+    def _dma_lock(self, node_id):
+        lock = self._dma_locks.get(node_id)
+        if lock is None:
+            lock = Mutex(self.system.sim, "%s.dma(%d)" % (self.name, node_id))
+            self._dma_locks[node_id] = lock
+        return lock
+
+    def _channel_layout(self, src, dst, ring_bytes):
+        src_arena = self._arena(src)
+        dst_arena = self._arena(dst)
+        return ChannelLayout(
+            src_ring=src_arena.alloc_mapout(ring_bytes),
+            ack_dest_addr=src_arena.alloc_packed(4),
+            dest_ring=dst_arena.alloc_packed(ring_bytes),
+            ack_src_addr=dst_arena.alloc_mapout(4),
+            state_addr=dst_arena.alloc_packed(8),
+            app_base=dst_arena.alloc_packed(16 * WORD_SIZE),
+            app_wrap_words=16,
+        )
+
+    def _make_deliver(self, dst, src):
+        def deliver(channel, seq, payload):
+            kind, page, arg = payload[0], payload[1], payload[2]
+            self._post(dst, kind, page, src, arg)
+        return deliver
+
+    def _make_guard(self, node_id):
+        layout = self.layout
+        pstates = self._pstates[node_id]
+
+        def guard(addr, nwords):
+            if not layout.contains_frame(addr):
+                return
+            for a in (addr, addr + (nwords - 1) * WORD_SIZE):
+                if not layout.contains_frame(a):
+                    continue
+                page = (a - layout.dsm_base) // PAGE_SIZE
+                if layout.home_of(page) == node_id:
+                    continue
+                if page in self._sync:
+                    # Sync pages are not coherence-protocol data: the
+                    # barrier tree keeps per-node aggregation state in
+                    # every participant's own frame (sync.py).
+                    continue
+                if pstates.get(page) == INVALID:
+                    raise DsmError(
+                        "node %d wrote %#x on DSM page %d without rights"
+                        % (node_id, a, page)
+                    )
+
+        return guard
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def add_app(self, node_id, factory):
+        """Register an application process body factory for ``node_id``.
+
+        ``factory()`` must return a *fresh* generator each call: a node
+        restore re-invokes it, and the body is expected to resume from
+        progress counters it keeps in DRAM (see repro.workload.dsm_apps).
+        """
+        self._apps[node_id].append([factory, None])
+
+    def attach_sync(self, page, obj):
+        """Route this page's sync messages to ``obj.handle`` (sync.py)."""
+        self.layout.check_page(page)
+        if page in self._sync:
+            raise DsmError("page %d already has a sync object" % page)
+        self._sync[page] = obj
+
+    def start(self):
+        """Start channels, per-node services and registered apps."""
+        for key in sorted(self._channels):
+            self._channels[key].start()
+        sim = self.system.sim
+        for node_id in range(len(self.system.nodes)):
+            self._service[node_id] = Process(
+                sim, self._service_body(node_id),
+                "%s.svc(%d)" % (self.name, node_id),
+            ).start()
+            for entry in self._apps[node_id]:
+                entry[1] = Process(
+                    sim, entry[0](), "%s.app(%d)" % (self.name, node_id)
+                ).start()
+        return self
+
+    def node_processes(self):
+        """(node_id, process) pairs for shard ownership assignment."""
+        procs = []
+        for node_id in range(len(self.system.nodes)):
+            if self._service[node_id] is not None:
+                procs.append((node_id, self._service[node_id]))
+            for entry in self._apps[node_id]:
+                if entry[1] is not None:
+                    procs.append((node_id, entry[1]))
+        for key in sorted(self._channels):
+            channel = self._channels[key]
+            procs.append((channel.src_node_id, channel._tx_proc))
+            procs.append((channel.dest_node_id, channel._rx_proc))
+        return procs
+
+    def channels(self):
+        """The underlying reliable channels (crash orchestration needs
+        them in its ``channels=`` list alongside the runtime itself)."""
+        return [self._channels[key] for key in sorted(self._channels)]
+
+    # -- messaging -------------------------------------------------------------
+
+    def _post(self, node_id, kind, page, src, arg):
+        self._inboxes[node_id].append((kind, page, src, arg))
+        self._signals[node_id].fire()
+
+    def _send(self, src, dst, kind, page, arg):
+        if src == dst:
+            self._post(dst, kind, page, src, arg)
+            return
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            raise DsmError(
+                "no channel %d->%d: the workload's pair set must cover "
+                "every node--home edge it uses" % (src, dst)
+            )
+        channel.send([kind, page, arg])
+
+    def _next_token(self, node_id):
+        self._token_seq[node_id] += 1
+        return self._token_seq[node_id]
+
+    # -- the per-node service --------------------------------------------------
+
+    def _service_body(self, node_id):
+        inbox = self._inboxes[node_id]
+        signal = self._signals[node_id]
+        while True:
+            if inbox:
+                message = inbox.popleft()
+                yield from self._dispatch(node_id, message)
+                continue
+            yield Wait(signal)
+
+    def _dispatch(self, node_id, message):
+        kind, page, src, arg = message
+        if kind in (READ_REQ, WRITE_REQ):
+            yield from self._home_request(node_id, kind, page, src, arg)
+        elif kind == RECALL_ACK:
+            yield from self._home_recall_ack(node_id, page, src)
+        elif kind == INVAL_ACK:
+            yield from self._home_inval_ack(node_id, page, src)
+        elif kind == READ_OK:
+            self._take_grant(node_id, page, arg, write=False)
+        elif kind == WRITE_OK:
+            self._take_grant(node_id, page, arg, write=True)
+        elif kind in (RECALL_READ, RECALL_WRITE):
+            yield from self._recalled(node_id, page, kind == RECALL_WRITE)
+        elif kind == INVAL_REQ:
+            self._invalidated(node_id, page, src)
+        elif kind in _SYNC_KINDS:
+            obj = self._sync.get(page)
+            if obj is None:
+                raise DsmError("sync message for page %d with no object"
+                               % page)
+            obj.handle(node_id, kind, src, arg)
+        else:
+            raise DsmError("unknown DSM message kind %r" % (kind,))
+
+    # -- home-side transaction machine -----------------------------------------
+
+    def _home_request(self, node_id, kind, page, src, token):
+        if self.layout.home_of(page) != node_id:
+            raise DsmError(
+                "node %d got a request for page %d homed at %d"
+                % (node_id, page, self.layout.home_of(page))
+            )
+        write = kind == WRITE_REQ
+        if self._dirs[node_id].last_grant(page) == (src, write, token):
+            # Exactly this request instance was already granted: the
+            # requester's in-flight retry raced the grant and the channel
+            # delivered it afterwards.  Re-granting would re-push the
+            # home's copy over whatever the owner has written since --
+            # the scribble the write guard exists to catch.  The grant
+            # itself was delivered exactly-once, so drop the duplicate.
+            # A *genuine* re-fault (post-crash) always carries a fresh
+            # token, and a home crash rolls this record back with the
+            # rest of the directory.
+            return
+        txn = self._txn[node_id].get(page)
+        if txn is not None:
+            if txn["req"] == src and txn["write"] == write:
+                txn["token"] = token  # retry of the active transaction
+                return
+            queue = self._defer[node_id].setdefault(page, [])
+            for entry in queue:
+                if entry[1] == src and (entry[0] == WRITE_REQ) == write:
+                    entry[2] = token
+                    return
+            queue.append([kind, src, token])
+            return
+        yield from self._start_txn(node_id, page, src, write, token)
+
+    def _start_txn(self, node_id, page, src, write, token):
+        directory = self._dirs[node_id]
+        txn = {"req": src, "write": write, "token": token, "stage": None,
+               "owner": None, "waiting": None}
+        self._txn[node_id][page] = txn
+        owner = directory.owner(page)
+        if owner == node_id:
+            # The home itself holds the page exclusively: demote locally
+            # (no self-recall message; the frame is already the memory
+            # copy).  The write walk below invalidates the copy if needed.
+            directory.set_owner(page, None)
+            directory.add_reader(page, node_id)
+            self._pstates[node_id].set(page, READ)
+            owner = None
+        if owner is not None and owner != src:
+            txn["stage"] = "recall"
+            txn["owner"] = owner
+            self.recalls.bump()
+            if self.instr.active:
+                self.instr.emit("dsm", "dsm.recall", page=page, owner=owner,
+                                req=src, write=write)
+            self._send(node_id, owner, RECALL_WRITE if write else RECALL_READ,
+                       page, 0)
+            return
+        if owner is not None:  # owner == src: duplicate / post-crash re-fault
+            if not write:
+                directory.set_owner(page, None)
+                directory.add_reader(page, src)
+        yield from self._proceed(node_id, page, txn)
+
+    def _proceed(self, node_id, page, txn):
+        """Owner recalled (or none): finish the grant, walking readers
+        first for a write."""
+        if not txn["write"]:
+            yield from self._grant_read(node_id, page, txn)
+            return
+        directory = self._dirs[node_id]
+        walk = [r for r in directory.readers(page) if r != txn["req"]]
+        if walk:
+            # The section 4.4 consistency walk, in sorted node order.
+            txn["stage"] = "inval"
+            txn["waiting"] = set(walk)
+            if self.instr.active:
+                self.instr.emit("dsm", "dsm.inval_walk", page=page,
+                                targets=list(walk), req=txn["req"])
+            for reader in walk:
+                self._send(node_id, reader, INVAL_REQ, page, 0)
+            return
+        yield from self._grant_write(node_id, page, txn)
+
+    def _home_recall_ack(self, node_id, page, src):
+        txn = self._txn[node_id].get(page)
+        if txn is None or txn["stage"] != "recall" or txn["owner"] != src:
+            return  # stale ack (duplicate or post-crash replay)
+        directory = self._dirs[node_id]
+        directory.set_owner(page, None)
+        if not txn["write"]:
+            directory.add_reader(page, src)  # recalled writer keeps a copy
+        txn["stage"] = None
+        yield from self._proceed(node_id, page, txn)
+
+    def _home_inval_ack(self, node_id, page, src):
+        txn = self._txn[node_id].get(page)
+        if txn is None or txn["stage"] != "inval" or src not in txn["waiting"]:
+            return
+        txn["waiting"].discard(src)
+        self._dirs[node_id].discard_reader(page, src)
+        if not txn["waiting"]:
+            txn["stage"] = None
+            yield from self._grant_write(node_id, page, txn)
+
+    def _grant_read(self, node_id, page, txn):
+        directory = self._dirs[node_id]
+        directory.add_reader(page, txn["req"])
+        directory.set_last_grant(page, txn["req"], False, txn["token"])
+        yield from self._push_page(node_id, txn["req"], page)
+        self._send(node_id, txn["req"], READ_OK, page, txn["token"])
+        yield from self._finish(node_id, page)
+
+    def _grant_write(self, node_id, page, txn):
+        directory = self._dirs[node_id]
+        directory.clear_readers(page)
+        directory.set_owner(page, txn["req"])
+        directory.set_last_grant(page, txn["req"], True, txn["token"])
+        yield from self._push_page(node_id, txn["req"], page)
+        self._send(node_id, txn["req"], WRITE_OK, page, txn["token"])
+        yield from self._finish(node_id, page)
+
+    def _finish(self, node_id, page):
+        self._txn[node_id].pop(page, None)
+        queue = self._defer[node_id].get(page)
+        if queue:
+            kind, src, token = queue.pop(0)
+            if not queue:
+                del self._defer[node_id][page]
+            yield from self._home_request(node_id, kind, page, src, token)
+
+    # -- requester side --------------------------------------------------------
+
+    def fault(self, node_id, page, write):
+        """Generator: resolve a fault on ``page``; returns when the node
+        holds the requested right.  Run from the faulting node's process
+        (one outstanding fault per node -- the faulting CPU is stalled)."""
+        self.layout.check_page(page)
+        pstates = self._pstates[node_id]
+        want = WRITE if write else READ
+        if pstates.get(page) >= want:
+            return
+        if page in self._pending[node_id]:
+            raise DsmError(
+                "node %d faulted page %d with a fault already outstanding"
+                % (node_id, page)
+            )
+        self.faults.bump()
+        if self.instr.active:
+            self.instr.emit("dsm", "dsm.fault", node=node_id, page=page,
+                            write=write)
+        sim = self.system.sim
+        started = sim.now
+        token = self._next_token(node_id)
+        self._pending[node_id][page] = token
+        pstates.set(page, FETCHING)
+        node = self.system.nodes[node_id]
+        node.nic.nipt.map_in(self.layout.frame_page(page))
+        home = self.layout.home_of(page)
+        kind = WRITE_REQ if write else READ_REQ
+        self._send(node_id, home, kind, page, token)
+        last_send = sim.now
+        try:
+            while pstates.get(page) < want:
+                yield Timeout(self.poll_ns)
+                if (pstates.get(page) < want
+                        and sim.now - last_send >= self.retry_ns):
+                    self._send(node_id, home, kind, page, token)
+                    last_send = sim.now
+        finally:
+            self._pending[node_id].pop(page, None)
+        (self.upgrade_ns if write else self.fetch_ns).observe(
+            sim.now - started)
+
+    def _take_grant(self, node_id, page, token, write):
+        if self._pending[node_id].get(page) != token:
+            return  # stale grant (old token, or post-crash replay)
+        # No page-state check beyond the token: when the requester is
+        # the home node, a deferred request processed right after the
+        # grant can demote it (home-owner demotion in _start_txn) before
+        # the faulting app polls -- the retried request then produces a
+        # fresh grant that must land even though the state left FETCHING.
+        # The home serialises transactions and grants push current data,
+        # so a matching token always means the frame bytes are current.
+        pstates = self._pstates[node_id]
+        pstates.set(page, WRITE if write else READ)
+        node = self.system.nodes[node_id]
+        node.nic.nipt.set_dsm_resident(self.layout.frame_page(page), True)
+        if self.instr.active:
+            self.instr.emit("dsm", "dsm.grant", node=node_id, page=page,
+                            write=write)
+
+    def _recalled(self, node_id, page, write):
+        pstates = self._pstates[node_id]
+        home = self.layout.home_of(page)
+        node = self.system.nodes[node_id]
+        if pstates.get(page) == WRITE:
+            yield from self._push_page(node_id, home, page)
+            if write:
+                pstates.set(page, INVALID)
+                node.nic.nipt.set_dsm_resident(
+                    self.layout.frame_page(page), False)
+                if home != node_id:
+                    node.nic.nipt.unmap_in(self.layout.frame_page(page))
+            else:
+                pstates.set(page, READ)
+        # Any other state: rights already lost (crash rollback or a
+        # duplicate recall) -- ack without data; the home's frame stands.
+        self._send(node_id, home, RECALL_ACK, page, 0)
+
+    def _invalidated(self, node_id, page, src):
+        pstates = self._pstates[node_id]
+        state = pstates.get(page)
+        if state in (READ, WRITE):
+            pstates.set(page, INVALID)
+            node = self.system.nodes[node_id]
+            node.nic.nipt.set_dsm_resident(self.layout.frame_page(page),
+                                           False)
+            if self.layout.home_of(page) != node_id:
+                node.nic.nipt.unmap_in(self.layout.frame_page(page))
+            self.invalidations.bump()
+            if self.instr.active:
+                self.instr.emit("dsm", "dsm.inval", node=node_id, page=page)
+        # FETCHING keeps its map-in: the grant deposit in flight must
+        # still land (the stale grant itself dies on its token).
+        self._send(node_id, src, INVAL_ACK, page, 0)
+
+    # -- the data path ---------------------------------------------------------
+
+    def _push_page(self, src_id, dst_id, page):
+        """Generator: one page-sized deliberate-update DMA src -> dst.
+
+        A transient outgoing half covering the whole frame is installed,
+        the DMA armed through the command page (section 4.2/4.3), and
+        the half removed once the engine drained the page into the send
+        FIFO.  Holding the node's DMA mutex across the arm means the
+        grant frame queued right after rides the same FIFO *behind* the
+        data -- per-sender in-order delivery then guarantees the deposit
+        lands before the grant is processed.
+
+        The page goes out as a run of packet-sized DMA commands, each
+        armed only once the outgoing FIFO has drained to half capacity:
+        a single page-sized command would fill the whole FIFO, and any
+        concurrent automatic-update store on this node (a reliable
+        channel writing its mapped ack word) would overflow it --
+        automatic updates are synchronous bus snoops and cannot block.
+        """
+        if src_id == dst_id:
+            return
+        node = self.system.nodes[src_id]
+        frame_page = self.layout.frame_page(page)
+        frame_addr = self.layout.frame_addr(page)
+        fifo = node.nic.outgoing_fifo
+        chunk_words = node.params.nic.max_payload_words
+        drain_limit = fifo.capacity_bytes // 2
+        self._busy[src_id] = True
+        try:
+            yield from self._dma_lock(src_id).acquire(
+                owner="%s.push(%d)" % (self.name, src_id))
+            try:
+                half = OutgoingHalf(0, PAGE_SIZE, dst_id, frame_addr,
+                                    MappingMode.DELIBERATE)
+                node.nic.nipt.map_out(frame_page, half)
+                try:
+                    yield from node.nic.dma_engine.wait_idle()
+                    for start in range(0, PAGE_SIZE // WORD_SIZE,
+                                       chunk_words):
+                        while fifo.occupancy_bytes > drain_limit:
+                            yield Timeout(self.poll_ns)
+                        command = node.command_addr(
+                            frame_addr + start * WORD_SIZE)
+                        addr, policy = node.mmu.translate(command, "write")
+                        yield from node.cache.write(
+                            addr,
+                            encode_command(CommandOp.DMA_START, chunk_words),
+                            policy,
+                        )
+                        yield from node.nic.dma_engine.wait_idle()
+                finally:
+                    node.nic.nipt.entry(frame_page).remove_half(half)
+            finally:
+                self._dma_lock(src_id).release()
+        finally:
+            self._busy[src_id] = False
+        self.fetches.bump()
+        if self.instr.active:
+            self.instr.emit("dsm", "dsm.push", src=src_id, dst=dst_id,
+                            page=page)
+
+    # -- crash/restore protocol (duck-typed like ReliableChannel) -------------
+
+    def killable(self, node_id):
+        """True when the node's DSM processes hold no simulation resource
+        (bus, DMA mutex) -- the crash orchestration's safe-kill gate."""
+        return not self._busy[node_id]
+
+    def node_crashed(self, node_id):
+        """Drop the node's volatile DSM state with the node.
+
+        Inbox, transactions and pending tokens are device/driver state;
+        DRAM (page states, directory, frames) survives for the restore
+        to roll back.
+        """
+        if self._service[node_id] is not None:
+            self._service[node_id].kill()
+            self._service[node_id] = None
+        for entry in self._apps[node_id]:
+            if entry[1] is not None:
+                entry[1].kill()
+                entry[1] = None
+        self._inboxes[node_id].clear()
+        self._txn[node_id].clear()
+        self._defer[node_id].clear()
+        self._pending[node_id].clear()
+        self._busy[node_id] = False
+
+    def node_restored(self, node_id):
+        """Respawn the service and apps over the rolled-back DRAM state.
+
+        Everything else is recovered by replay: the channel layer
+        redelivers every message the rolled-back receiver state has not
+        seen, the service re-runs its deterministic transitions, and
+        duplicate outbound messages die on the receivers' idempotency
+        rules (tokens, ack-without-transaction, recall-without-rights).
+        """
+        sim = self.system.sim
+        self._service[node_id] = Process(
+            sim, self._service_body(node_id),
+            "%s.svc(%d)" % (self.name, node_id),
+        ).start()
+        for entry in self._apps[node_id]:
+            entry[1] = Process(
+                sim, entry[0](), "%s.app(%d)" % (self.name, node_id)
+            ).start()

@@ -1,0 +1,289 @@
+"""Synchronisation primitives folded onto DSM pages.
+
+The old :mod:`repro.shmem` lock/barrier emit assembly against
+pre-established push mappings: every participant pair needs its own
+mapping and the state is scattered across private flag words.  Here the
+state lives in node frames of a designated DSM *sync page* --
+checkpointed, fingerprinted and crash-rolled-back exactly like
+application data -- and arbitration is message-based through the DSM
+service, so the primitives need no mappings beyond the runtime's
+channel fabric.
+
+:class:`DsmBarrier` is a **combining tree** (the O(log n) path the
+ROADMAP asks for): participants form a binary heap tree, each node
+aggregates its own arrival with its children's subtree arrivals in its
+*own* frame of the sync page, and only the aggregate travels to the
+parent.  Fan-in per node is bounded by 3 channels regardless of machine
+size -- a flat barrier on a 64-node mesh aims 63 simultaneous arrival
+messages at one corner node, which overruns its outgoing FIFO with
+automatic-update packets that cannot block.
+
+Both primitives are **idempotent under replay**: a node crash rolls its
+tree state back, the channel layer redelivers what the rollback forgot,
+and participants retry until their locally recorded outcome (a word in
+the node's DSM scratch region) catches up.  Epochs are monotonic
+(always folded with ``max``/``min``), so duplicated arrivals and
+releases are absorbed, and a re-arrival that reaches an already
+released ancestor is answered with a direct re-release back down the
+stalled branch.
+
+A lock held across a crash of the holder stays held (there is no lease
+timeout) -- crash scenarios should synchronise with barriers, which
+recover; see docs/dsm.md.
+"""
+
+from repro.dsm.runtime import (
+    BARRIER_ARRIVE,
+    BARRIER_RELEASE,
+    LOCK_ACQ,
+    LOCK_GRANT,
+    LOCK_REL,
+)
+from repro.dsm.state import DsmError
+from repro.memsys.address import WORD_SIZE
+from repro.sim.process import Timeout
+
+
+class DsmBarrier:
+    """Combining-tree epoch barrier on a DSM sync page.
+
+    Participants (sorted) form a binary heap tree: participant ``i``'s
+    parent is ``(i - 1) // 2``, children ``2i + 1`` and ``2i + 2``.
+    Per-participant state, in that node's own frame of ``page``:
+    word 0 -- newest *released* epoch this node has propagated;
+    word 1 -- this node's own newest arrived epoch;
+    word ``2 + c`` -- newest epoch child ``c``'s whole subtree reached.
+    Each participant's newest *seen* released epoch lives in its scratch
+    word ``scratch_index``; ``wait`` polls that.
+
+    Arrivals flow up: a node folds ``min(own, children)`` and forwards
+    the aggregate to its parent whenever it exceeds the node's released
+    epoch.  The root turns the aggregate into a release, which flows
+    down.  An arrival for an epoch an ancestor has already released is
+    answered with a release straight back to the sender, which re-floods
+    down the branch a crash rolled back.
+    """
+
+    def __init__(self, runtime, page, participants, scratch_index=0):
+        self.runtime = runtime
+        self.layout = runtime.layout
+        self.page = runtime.layout.check_page(page)
+        self.participants = sorted(participants)
+        if len(set(self.participants)) != len(self.participants):
+            raise DsmError("duplicate barrier participants")
+        if not self.participants:
+            raise DsmError("a barrier needs at least one participant")
+        self.scratch_index = scratch_index
+        self._index = {n: i for i, n in enumerate(self.participants)}
+        self._base = runtime.layout.frame_addr(page)
+        runtime.attach_sync(page, self)
+
+    @staticmethod
+    def tree_edges(participants):
+        """The (parent, child) node pairs the tree communicates over --
+        for sizing a runtime's channel set before building the barrier."""
+        nodes = sorted(participants)
+        return sorted(
+            (min(nodes[(i - 1) // 2], nodes[i]),
+             max(nodes[(i - 1) // 2], nodes[i]))
+            for i in range(1, len(nodes))
+        )
+
+    # -- tree geometry ---------------------------------------------------------
+
+    def _parent(self, node_id):
+        index = self._index[node_id]
+        return None if index == 0 else self.participants[(index - 1) // 2]
+
+    def _children(self, node_id):
+        index = self._index[node_id]
+        count = len(self.participants)
+        return [self.participants[c]
+                for c in (2 * index + 1, 2 * index + 2) if c < count]
+
+    def _memory(self, node_id):
+        return self.runtime.system.nodes[node_id].memory
+
+    def _released_addr(self):
+        return self._base
+
+    def _own_addr(self):
+        return self._base + WORD_SIZE
+
+    def _child_addr(self, node_id, src):
+        index = self._index[node_id]
+        child = self._index[src]
+        slot = child - 2 * index - 1  # 0 or 1 in a binary heap tree
+        if slot not in (0, 1):
+            raise DsmError(
+                "barrier arrival from %d at %d: not its tree child"
+                % (src, node_id))
+        return self._base + (2 + slot) * WORD_SIZE
+
+    def _seen_addr(self):
+        return self.layout.scratch_addr(self.scratch_index)
+
+    # -- service-side message handling -----------------------------------------
+
+    def handle(self, node_id, kind, src, arg):
+        if kind == BARRIER_ARRIVE:
+            self._arrive(node_id, src, arg)
+        elif kind == BARRIER_RELEASE:
+            self._release(node_id, arg)
+        else:
+            raise DsmError("barrier got message kind %r" % (kind,))
+
+    def _arrive(self, node_id, src, epoch):
+        memory = self._memory(node_id)
+        slot = (self._own_addr() if src == node_id
+                else self._child_addr(node_id, src))
+        if memory.read_word(slot) < epoch:
+            memory.write_word(slot, epoch)
+        released = memory.read_word(self._released_addr())
+        if epoch <= released:
+            # The sender's branch missed (or rolled back past) a release
+            # this node already propagated: re-release straight back.
+            if src == node_id:
+                self._mark_seen(node_id, released)
+            else:
+                self.runtime._send(node_id, src, BARRIER_RELEASE, self.page,
+                                   released)
+            return
+        reached = min(
+            [memory.read_word(self._own_addr())]
+            + [memory.read_word(self._base + (2 + c) * WORD_SIZE)
+               for c in range(len(self._children(node_id)))]
+        )
+        if reached <= released:
+            return  # subtree not complete for any new epoch yet
+        parent = self._parent(node_id)
+        if parent is None:
+            self._release(node_id, reached)  # root: aggregate == release
+        else:
+            # Forward on every arrival (not just fresh aggregates): the
+            # retry chain relies on duplicates propagating up to an
+            # ancestor that can answer with the missing release.
+            self.runtime._send(node_id, parent, BARRIER_ARRIVE, self.page,
+                               reached)
+
+    def _release(self, node_id, epoch):
+        memory = self._memory(node_id)
+        if memory.read_word(self._released_addr()) >= epoch:
+            return  # duplicate release wave
+        memory.write_word(self._released_addr(), epoch)
+        self._mark_seen(node_id, epoch)
+        for child in self._children(node_id):
+            self.runtime._send(node_id, child, BARRIER_RELEASE, self.page,
+                               epoch)
+
+    def _mark_seen(self, node_id, epoch):
+        memory = self._memory(node_id)
+        if memory.read_word(self._seen_addr()) < epoch:
+            memory.write_word(self._seen_addr(), epoch)
+
+    # -- participant side ------------------------------------------------------
+
+    def wait(self, node_id, epoch):
+        """Generator: arrive at ``epoch`` and block until it is released.
+
+        ``epoch`` must come from durable app state (a DRAM progress
+        counter), so a restarted node re-arrives at the epoch it was in.
+        """
+        if node_id not in self._index:
+            raise DsmError("node %d is not a barrier participant" % node_id)
+        runtime = self.runtime
+        memory = self._memory(node_id)
+        runtime._send(node_id, node_id, BARRIER_ARRIVE, self.page, epoch)
+        last_send = runtime.system.sim.now
+        while memory.read_word(self._seen_addr()) < epoch:
+            yield Timeout(runtime.poll_ns)
+            if (memory.read_word(self._seen_addr()) < epoch
+                    and runtime.system.sim.now - last_send
+                    >= runtime.retry_ns):
+                runtime._send(node_id, node_id, BARRIER_ARRIVE, self.page,
+                              epoch)
+                last_send = runtime.system.sim.now
+
+
+class DsmLock:
+    """Home-arbitrated mutual exclusion on a DSM sync page.
+
+    Home-side state, in the home's frame of ``page``: word 0 -- holder
+    node id + 1 (0 = free); word 1 -- bitmap of waiting nodes.  Grants
+    go to the lowest waiting node id.  A node's "granted" flag lives in
+    its scratch word ``scratch_index``.
+    """
+
+    def __init__(self, runtime, page, scratch_index=1):
+        self.runtime = runtime
+        self.layout = runtime.layout
+        self.page = runtime.layout.check_page(page)
+        self.home = runtime.layout.home_of(page)
+        self.scratch_index = scratch_index
+        self._base = runtime.layout.frame_addr(page)
+        runtime.attach_sync(page, self)
+
+    def _home_mem(self):
+        return self.runtime.system.nodes[self.home].memory
+
+    def _flag_addr(self):
+        return self.layout.scratch_addr(self.scratch_index)
+
+    def handle(self, node_id, kind, src, arg):
+        if kind == LOCK_ACQ:
+            self._acquire_msg(src)
+        elif kind == LOCK_REL:
+            self._release_msg(src)
+        elif kind == LOCK_GRANT:
+            memory = self.runtime.system.nodes[node_id].memory
+            memory.write_word(self._flag_addr(), 1)
+        else:
+            raise DsmError("lock got message kind %r" % (kind,))
+
+    def _acquire_msg(self, src):
+        memory = self._home_mem()
+        holder = memory.read_word(self._base)
+        if holder == 0:
+            memory.write_word(self._base, src + 1)
+            self.runtime._send(self.home, src, LOCK_GRANT, self.page, 0)
+        elif holder == src + 1:
+            # Retry from the holder (a lost grant): re-grant.
+            self.runtime._send(self.home, src, LOCK_GRANT, self.page, 0)
+        else:
+            waiting = memory.read_word(self._base + WORD_SIZE)
+            memory.write_word(self._base + WORD_SIZE, waiting | (1 << src))
+
+    def _release_msg(self, src):
+        memory = self._home_mem()
+        if memory.read_word(self._base) != src + 1:
+            return  # stale release (replay after a re-grant elsewhere)
+        waiting = memory.read_word(self._base + WORD_SIZE)
+        if waiting == 0:
+            memory.write_word(self._base, 0)
+            return
+        nxt = (waiting & -waiting).bit_length() - 1  # lowest waiting id
+        memory.write_word(self._base + WORD_SIZE, waiting & ~(1 << nxt))
+        memory.write_word(self._base, nxt + 1)
+        self.runtime._send(self.home, nxt, LOCK_GRANT, self.page, 0)
+
+    def acquire(self, node_id):
+        """Generator: block until this node holds the lock."""
+        runtime = self.runtime
+        memory = runtime.system.nodes[node_id].memory
+        memory.write_word(self._flag_addr(), 0)
+        runtime._send(node_id, self.home, LOCK_ACQ, self.page, 0)
+        last_send = runtime.system.sim.now
+        while memory.read_word(self._flag_addr()) == 0:
+            yield Timeout(runtime.poll_ns)
+            if (memory.read_word(self._flag_addr()) == 0
+                    and runtime.system.sim.now - last_send
+                    >= runtime.retry_ns):
+                runtime._send(node_id, self.home, LOCK_ACQ, self.page, 0)
+                last_send = runtime.system.sim.now
+
+    def release(self, node_id):
+        """Release the lock (not a generator: the message is queued and
+        the home serialises the handoff)."""
+        memory = self.runtime.system.nodes[node_id].memory
+        memory.write_word(self._flag_addr(), 0)
+        self.runtime._send(node_id, self.home, LOCK_REL, self.page, 0)

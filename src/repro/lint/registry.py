@@ -11,6 +11,7 @@ from repro.lint import (
     rules_callback,
     rules_ckpt,
     rules_determinism,
+    rules_dsm,
     rules_faults,
     rules_instrument,
     rules_shard,
@@ -28,5 +29,6 @@ def all_rules():
         + rules_faults.RULES
         + rules_shard.RULES
         + rules_topology.RULES
+        + rules_dsm.RULES
     )
     return sorted(rules, key=lambda rule: rule.code)

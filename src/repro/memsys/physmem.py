@@ -23,6 +23,12 @@ class PhysicalMemory:
         self._data = bytearray(size_bytes)
         self.read_count = 0
         self.write_count = 0
+        # Optional write hook (configuration, not state -- not captured by
+        # checkpoints).  The DSM runtime (repro.dsm) arms it to assert that
+        # nothing scribbles over a coherence-managed page it does not hold
+        # write ownership of; None (the default) keeps the access fast path
+        # a single pointer test.
+        self.write_guard = None
 
     def _check(self, addr, nwords=1):
         require_word_aligned(addr)
@@ -39,6 +45,8 @@ class PhysicalMemory:
 
     def write_word(self, addr, value):
         self._check(addr)
+        if self.write_guard is not None:
+            self.write_guard(addr, 1)
         self.write_count += 1
         self._data[addr : addr + WORD_SIZE] = (value & WORD_MASK).to_bytes(
             WORD_SIZE, "little"
@@ -54,6 +62,8 @@ class PhysicalMemory:
 
     def write_words(self, addr, values):
         self._check(addr, len(values))
+        if self.write_guard is not None:
+            self.write_guard(addr, len(values))
         self.write_count += len(values)
         for i, value in enumerate(values):
             a = addr + i * WORD_SIZE

@@ -80,9 +80,16 @@ class OutgoingHalf:
 
 
 class NiptEntry:
-    """Per-physical-page state held by the network interface."""
+    """Per-physical-page state held by the network interface.
 
-    __slots__ = ("halves", "mapped_in", "interrupt_on_arrival")
+    ``dsm_resident`` is the DSM resident bit (:mod:`repro.dsm`): set when
+    the page holds a granted shared-memory copy, cleared by invalidation
+    and recall.  It is the hardware half of the DSM access fast path --
+    non-DSM machines never set it, so it costs nothing when DSM is off.
+    """
+
+    __slots__ = ("halves", "mapped_in", "interrupt_on_arrival",
+                 "dsm_resident")
 
     MAX_HALVES = 2  # a page can be split between two mappings (section 3.2)
 
@@ -90,6 +97,7 @@ class NiptEntry:
         self.halves = []
         self.mapped_in = False
         self.interrupt_on_arrival = False
+        self.dsm_resident = False
 
     @property
     def mapped_out(self):
@@ -165,6 +173,13 @@ class Nipt:
     def is_mapped_in(self, page):
         return self.entry(page).mapped_in
 
+    def set_dsm_resident(self, page, resident):
+        """Set/clear the DSM resident bit (see :mod:`repro.dsm`)."""
+        self.entry(page).dsm_resident = bool(resident)
+
+    def is_dsm_resident(self, page):
+        return self.entry(page).dsm_resident
+
     def mapped_out_pages(self):
         return [i for i, e in enumerate(self.entries) if e.mapped_out]
 
@@ -175,29 +190,31 @@ class Nipt:
 
     def ckpt_capture(self):
         """Sparse capture: only entries differing from the freshly built
-        default (no halves, not mapped in, no interrupt bit)."""
+        default (no halves, not mapped in, no interrupt or resident bit).
+        The ``dsm_resident`` key is likewise emitted only when set, so
+        non-DSM checkpoints are byte-identical to the pre-DSM format."""
         pages = []
         for page, entry in enumerate(self.entries):
             if not (entry.halves or entry.mapped_in
-                    or entry.interrupt_on_arrival):
+                    or entry.interrupt_on_arrival or entry.dsm_resident):
                 continue
-            pages.append([
-                page,
-                {
-                    "halves": [
-                        {
-                            "src_start": half.src_start,
-                            "src_end": half.src_end,
-                            "dest_node": half.dest_node,
-                            "dest_addr": half.dest_addr,
-                            "mode": half.mode,
-                        }
-                        for half in entry.halves
-                    ],
-                    "mapped_in": entry.mapped_in,
-                    "interrupt_on_arrival": entry.interrupt_on_arrival,
-                },
-            ])
+            entry_state = {
+                "halves": [
+                    {
+                        "src_start": half.src_start,
+                        "src_end": half.src_end,
+                        "dest_node": half.dest_node,
+                        "dest_addr": half.dest_addr,
+                        "mode": half.mode,
+                    }
+                    for half in entry.halves
+                ],
+                "mapped_in": entry.mapped_in,
+                "interrupt_on_arrival": entry.interrupt_on_arrival,
+            }
+            if entry.dsm_resident:
+                entry_state["dsm_resident"] = True
+            pages.append([page, entry_state])
         return {"pages": pages}
 
     def ckpt_restore(self, state):
@@ -205,6 +222,7 @@ class Nipt:
             entry.halves = []
             entry.mapped_in = False
             entry.interrupt_on_arrival = False
+            entry.dsm_resident = False
         for page, entry_state in state["pages"]:
             entry = self.entry(page)
             for half_state in entry_state["halves"]:
@@ -217,3 +235,4 @@ class Nipt:
                 ))
             entry.mapped_in = entry_state["mapped_in"]
             entry.interrupt_on_arrival = entry_state["interrupt_on_arrival"]
+            entry.dsm_resident = entry_state.get("dsm_resident", False)

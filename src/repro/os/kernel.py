@@ -126,8 +126,16 @@ class Kernel:
         self.instr.probe(
             prefix + ".instructions", lambda: self.kernel_instructions
         )
+        self.dsm_faults = self.instr.counter(prefix + ".dsm_faults")
         node.cpu.syscall_handler = self._syscall_handler
         node.cpu.fault_handler = self._fault_handler
+        # Fetch-on-fault DSM (repro.dsm): an optional hook consulted
+        # before the kernel's own fault resolution, plus the OS-visible
+        # page-state table the hook maintains (vpage -> repro.dsm state).
+        # simlint: ignore[SL201] wiring, not state: the hook is re-registered
+        # by the DSM layer after a restore rebuilds the runtime
+        self._dsm_hook = None
+        self.dsm_page_states = {}
         # Machine-wide placement policy (repro.machine.addrmap), installed
         # by Cluster at boot; None on a bare kernel.
         # simlint: ignore[SL201] immutable policy object installed at
@@ -753,7 +761,7 @@ class Kernel:
             for (table, vpage), data in self._swap.items()
             if table in table_pid  # reaped process: its swap slots are dead
         )
-        return {
+        state = {
             "free_pages": list(self._free_pages),
             "next_pid": self._next_pid,
             "processes": pairs({
@@ -788,6 +796,11 @@ class Kernel:
             "swap": swap,
             "kernel_instructions": self.kernel_instructions,
         }
+        # Sparse: only kernels the DSM layer touched carry the table, so
+        # existing checkpoints (and their fingerprints) are unchanged.
+        if self.dsm_page_states:
+            state["dsm_pages"] = pairs(self.dsm_page_states)
+        return state
 
     @staticmethod
     def _encode_mapping(record):
@@ -873,6 +886,7 @@ class Kernel:
                 raise CkptError("swap slot references unknown pid %d" % pid)
             self._swap[(process.page_table, vpage)] = bytes.fromhex(hexdata)
         self.kernel_instructions = state["kernel_instructions"]
+        self.dsm_page_states = dict(state.get("dsm_pages", ()))
 
     def _relink_half(self, record, src_vpage, half_state):
         """Recover the NIPT's half object for an installed mapping half.
@@ -911,6 +925,33 @@ class Kernel:
             )
         return OutgoingHalf(*fields)
 
+    # -- fetch-on-fault DSM (repro.dsm) ----------------------------------------
+
+    def register_dsm_hook(self, hook):
+        """Install (or clear, with ``None``) the DSM fault hook.
+
+        ``hook(process, fault)`` is a generator run from the fault
+        handler *before* the kernel's own resolution; a truthy return
+        means the access was a shared-page fault the DSM layer resolved
+        (fetched and installed), and the faulting instruction restarts.
+        Falsy falls through to demand paging / stack growth / the wild
+        access raise, so a hook never masks a genuine protection bug.
+        """
+        self._dsm_hook = hook
+
+    def dsm_page_state(self, vpage):
+        """The OS-visible DSM state of ``vpage`` (repro.dsm constants);
+        INVALID (0) for pages the DSM layer never touched."""
+        return self.dsm_page_states.get(vpage, 0)
+
+    def set_dsm_page_state(self, vpage, state):
+        """Record ``vpage``'s DSM state; INVALID (0) drops the entry so
+        an untouched kernel checkpoints exactly as before."""
+        if state:
+            self.dsm_page_states[vpage] = state
+        else:
+            self.dsm_page_states.pop(vpage, None)
+
     # -- fault handling --------------------------------------------------------------------------------------------------------
 
     def _fault_handler(self, cpu, fault):
@@ -924,6 +965,11 @@ class Kernel:
         if process is None:
             raise fault
         vpage = page_number(fault.vaddr)
+        if self._dsm_hook is not None:
+            handled = yield from self._dsm_hook(process, fault)
+            if handled:
+                self.dsm_faults.bump()
+                return
         pte = process.page_table.entry(vpage)
         if pte is None:
             if self._grow_stack(process, vpage):

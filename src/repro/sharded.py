@@ -106,6 +106,21 @@ def _scenario_workload(**kwargs):
     return workload.system, None, tuple(workload.node_processes())
 
 
+def _scenario_dsm(**kwargs):
+    """Fetch-on-fault shared memory (:mod:`repro.dsm`): the DSM app
+    family -- stencil by default -- over the directory protocol.
+
+    Accepts :class:`~repro.workload.dsm_apps.DsmWorkload` keywords
+    (kind, width, height, iterations, words, seed, requests, ...).
+    Every shard constructs the identical runtime: the layout, channel
+    pairs and app schedule are pure functions of the kwargs.
+    """
+    from repro.workload.dsm_apps import DsmWorkload
+
+    workload = DsmWorkload(**kwargs).start()
+    return workload.system, None, tuple(workload.node_processes())
+
+
 class ScenarioSpec:
     """A named scenario: its builder plus enough static knowledge (the
     mesh topology as a function of the build kwargs) for the conductor to
@@ -132,6 +147,7 @@ SHARD_SCENARIOS = {
     "contention": ScenarioSpec(_scenario_contention, 4, 4),
     "fault_storm": ScenarioSpec(_scenario_fault_storm, 4, 4),
     "workload": ScenarioSpec(_scenario_workload, 4, 4, dims_from_kwargs=True),
+    "dsm": ScenarioSpec(_scenario_dsm, 4, 4, dims_from_kwargs=True),
 }
 
 

@@ -1,0 +1,15 @@
+# simlint: scope=sim
+"""Fixture: a direct DRAM write into a DSM frame outside repro.dsm.
+
+The store lands in the shared frame region behind the directory's back:
+no recall, no section 4.4 invalidation, and the home's memory copy
+silently diverges from every cached copy.
+"""
+
+
+def scribble(node, layout, page, value):
+    node.memory.write_word(layout.frame_addr(page), value)
+
+
+def scribble_run(node, layout, values):
+    node.memory.write_words(layout.dsm_base + 64, values)

@@ -1,0 +1,20 @@
+# simlint: scope=sim
+"""Fixture: the sanctioned DSM access paths.
+
+Shared bytes move through the segment API: ``store_word`` runs the
+fetch-on-fault protocol (so the write is coherence-visible), ``poke``
+is the explicit zero-time escape hatch for test setup, and scratch
+words (app progress counters) live outside the frame region entirely.
+"""
+
+
+def update(segment, gaddr, value):
+    yield from segment.store_word(gaddr, value)
+
+
+def seed(segment, gaddr, value):
+    segment.poke(gaddr, value)
+
+
+def record_progress(node, layout, iteration):
+    node.memory.write_word(layout.scratch_addr(2), iteration)

@@ -28,6 +28,7 @@ ALL_CODES = [
     "SL501",
     "SL601",
     "SL701",
+    "SL801",
 ]
 
 
