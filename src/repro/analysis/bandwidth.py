@@ -7,6 +7,7 @@ draining transfer).  On the EISA prototype the receiver's EISA burst rate
 ceiling to about 70 MB/s, bounded by the source DMA engine.
 """
 
+from repro.analysis.vocabulary import BUS_WRITE
 from repro.cpu import Context
 from repro.machine.config import eisa_prototype
 from repro.machine.system import ShrimpSystem
@@ -58,7 +59,7 @@ def measure_deliberate_bandwidth(nbytes, params_factory=eisa_prototype):
         if event.fields["addr"] + 4 * event.fields["words"] > last_byte_addr:
             times["end"] = event.time
 
-    system.instrumentation.subscribe(on_write, kinds=("bus.write",))
+    system.instrumentation.subscribe(on_write, kinds=(BUS_WRITE,))
 
     asm = deliberate.sender_program(system, sender, nbytes, buf_addr=BUF_SRC)
     start = system.sim.now

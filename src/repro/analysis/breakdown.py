@@ -8,6 +8,13 @@ final DMA deposit into destination memory.
 
 from collections import OrderedDict
 
+from repro.analysis.vocabulary import (
+    BUS_WRITE,
+    NIC_ACCEPTED,
+    NIC_DELIVERED,
+    NIC_INJECTED,
+    NIC_PACKETIZED,
+)
 from repro.cpu import Asm, Context, Mem
 from repro.machine.config import eisa_prototype
 from repro.machine.system import ShrimpSystem
@@ -42,15 +49,14 @@ def measure_latency_breakdown(params_factory=eisa_prototype, width=4,
     hub = system.instrumentation
 
     def on_event(event):
-        if event.kind == "bus.write":
+        if event.kind == BUS_WRITE:
             if event.source == sender.bus.name and event.fields["addr"] == SRC:
                 marks.setdefault("store", event.time)
             return
         marks.setdefault(event.kind.split(".", 1)[1], event.time)
 
     hub.subscribe(on_event, kinds=(
-        "bus.write", "nic.packetized", "nic.injected", "nic.accepted",
-        "nic.delivered",
+        BUS_WRITE, NIC_PACKETIZED, NIC_INJECTED, NIC_ACCEPTED, NIC_DELIVERED,
     ))
 
     asm = Asm("breakdown-probe")

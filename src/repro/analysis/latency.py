@@ -7,6 +7,7 @@ with no contention: just under 2 us on the EISA prototype, under 1 us
 projected for the next-generation interface.
 """
 
+from repro.analysis.vocabulary import BUS_WRITE
 from repro.cpu import Asm, Context, Mem
 from repro.machine.config import eisa_prototype
 from repro.machine.system import ShrimpSystem
@@ -41,7 +42,7 @@ def measure_store_latency(params_factory=eisa_prototype, width=4, height=4,
         elif event.source == receiver.bus.name and event.fields["addr"] == DST:
             times.setdefault("arrive", event.time)
 
-    system.instrumentation.subscribe(on_write, kinds=("bus.write",))
+    system.instrumentation.subscribe(on_write, kinds=(BUS_WRITE,))
     asm = Asm("latency-probe")
     asm.mov(Mem(disp=SRC), 0xBEEF)
     asm.halt()

@@ -8,6 +8,7 @@ time from packetization to deposit (the ``nic.packetized`` and
 needs a distribution rather than a single probe.
 """
 
+from repro.analysis.vocabulary import NIC_DELIVERED, NIC_PACKETIZED
 from repro.sim.instrument import Instrumentation, nearest_rank
 
 
@@ -20,14 +21,14 @@ class PacketStats:
         self.latencies_ns = []
         self._hub = Instrumentation.of(system.sim)
         self._hub.subscribe(
-            self._on_event, kinds=("nic.packetized", "nic.delivered")
+            self._on_event, kinds=(NIC_PACKETIZED, NIC_DELIVERED)
         )
 
     def _on_event(self, event):
         packet = event.fields.get("packet")
         if packet is None:
             return
-        if event.kind == "nic.packetized":
+        if event.kind == NIC_PACKETIZED:
             self._start_ns[id(packet)] = event.time
         else:
             start = self._start_ns.pop(id(packet), None)

@@ -509,9 +509,14 @@ class DsmRuntime:
                 % (node_id, page)
             )
         self.faults.bump()
+        home = self.layout.home_of(page)
         if self.instr.active:
+            # home/frame let external observers (the happens-before
+            # sanitizer, repro.lint.sanitize) correlate this fault with
+            # the NIC deposits and the grant that resolve it.
             self.instr.emit("dsm", "dsm.fault", node=node_id, page=page,
-                            write=write)
+                            write=write, home=home,
+                            frame=self.layout.frame_page(page))
         sim = self.system.sim
         started = sim.now
         token = self._next_token(node_id)
@@ -519,7 +524,6 @@ class DsmRuntime:
         pstates.set(page, FETCHING)
         node = self.system.nodes[node_id]
         node.nic.nipt.map_in(self.layout.frame_page(page))
-        home = self.layout.home_of(page)
         kind = WRITE_REQ if write else READ_REQ
         self._send(node_id, home, kind, page, token)
         last_send = sim.now
@@ -610,6 +614,13 @@ class DsmRuntime:
         """
         if src_id == dst_id:
             return
+        if self.instr.active:
+            # Emitted when the push *begins*: from here the page data is
+            # queued ahead of any grant frame in the same FIFO, which is
+            # the ordering fact downstream observers (the happens-before
+            # sanitizer) correlate deposits and grants against.
+            self.instr.emit("dsm", "dsm.push", src=src_id, dst=dst_id,
+                            page=page)
         node = self.system.nodes[src_id]
         frame_page = self.layout.frame_page(page)
         frame_addr = self.layout.frame_addr(page)
@@ -646,9 +657,6 @@ class DsmRuntime:
         finally:
             self._busy[src_id] = False
         self.fetches.bump()
-        if self.instr.active:
-            self.instr.emit("dsm", "dsm.push", src=src_id, dst=dst_id,
-                            page=page)
 
     # -- crash/restore protocol (duck-typed like ReliableChannel) -------------
 

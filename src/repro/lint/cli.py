@@ -4,9 +4,22 @@ Usage::
 
     python -m repro.lint [paths...] [options]
 
-Defaults to linting ``src`` and ``tests``.  Exit codes: 0 -- no new
-findings (baselined findings are reported but do not fail the run);
-1 -- at least one new finding; 2 -- usage or I/O error.
+Defaults to linting ``src`` and ``tests``.  Two static phases run by
+default (select with ``--phase``): the *per-file* pass (one module at a
+time) and the *whole-program* pass over the
+:class:`~repro.lint.project.ProjectGraph`.  The project graph is cached
+under ``.lint_cache/`` keyed on a content hash of the input tree, so a
+warm run skips parsing entirely (``--no-cache`` disables this).
+
+``--sanitize SCENARIO`` is the runtime companion: instead of linting
+source, it arms the happens-before checker over one ``repro.sharded``
+scenario run and fails on any ordering violation
+(:mod:`repro.lint.sanitize`).
+
+Exit codes: 0 -- no new findings (baselined findings are reported but do
+not fail the run); 1 -- at least one new finding, a stale baseline
+entry (the baseline no longer matches reality and must be refreshed), or
+a sanitizer violation; 2 -- usage or I/O error.
 """
 
 import argparse
@@ -24,13 +37,21 @@ from repro.lint.engine import (
 )
 from repro.lint.registry import all_rules
 
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+_PHASES = {
+    "per-file": ("file",),
+    "project": ("project",),
+    "all": ("file", "project"),
+}
+
 
 def _parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="simlint: AST-based invariant checks for determinism, "
-        "checkpoint coverage, instrumentation hygiene and callback safety "
-        "(docs/static-analysis.md)",
+        "checkpoint coverage, instrumentation hygiene, callback safety and "
+        "whole-program protocol/vocabulary rules (docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -43,6 +64,20 @@ def _parser():
     parser.add_argument(
         "--select", metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--phase", choices=sorted(_PHASES), default="all",
+        help="run only the per-file or only the whole-program pass "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help="project-graph cache directory (default: %s)"
+        % DEFAULT_CACHE_DIR,
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="parse and build the project graph from scratch",
     )
     parser.add_argument(
         "--baseline", metavar="PATH", default=None,
@@ -64,6 +99,11 @@ def _parser():
     parser.add_argument(
         "--explain", metavar="CODE",
         help="print a rule's full documentation, then exit",
+    )
+    parser.add_argument(
+        "--sanitize", metavar="SCENARIO",
+        help="run SCENARIO (a repro.sharded scenario name) with the "
+        "happens-before sanitizer armed instead of linting source",
     )
     return parser
 
@@ -120,6 +160,19 @@ def _report_json(findings, new, stale, suppressed, out):
     out.write("\n")
 
 
+def _explain(rules, code, out):
+    for rule in rules:
+        if rule.code == code:
+            doc = (type(rule).__doc__ or "").strip()
+            print("%s: %s\n\n%s" % (rule.code, rule.title, doc), file=out)
+            return 0
+    print("unknown rule code: %s" % code, file=sys.stderr)
+    print("known codes:", file=sys.stderr)
+    for rule in rules:
+        print("  %s  %s" % (rule.code, rule.title), file=sys.stderr)
+    return 2
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     parser = _parser()
@@ -130,19 +183,25 @@ def main(argv=None, out=None):
             print("%s  %s" % (rule.code, rule.title), file=out)
         return 0
     if args.explain:
-        for rule in rules:
-            if rule.code == args.explain:
-                doc = (type(rule).__doc__ or "").strip()
-                print("%s: %s\n\n%s" % (rule.code, rule.title, doc), file=out)
-                return 0
-        print("unknown rule code: %s" % args.explain, file=sys.stderr)
-        return 2
+        return _explain(rules, args.explain, out)
+    if args.sanitize:
+        from repro.lint.sanitize import run_sanitized
+
+        try:
+            return run_sanitized(args.sanitize, out=out)
+        except LintUsageError as exc:
+            print("simlint: error: %s" % exc, file=sys.stderr)
+            return 2
     selected = None
     if args.select:
         selected = {code.strip() for code in args.select.split(",")
                     if code.strip()}
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
     try:
-        findings, suppressed = run_rules(args.paths, rules, selected)
+        findings, suppressed = run_rules(
+            args.paths, rules, selected,
+            phases=_PHASES[args.phase], cache_dir=cache_dir,
+        )
         baseline_file = _baseline_path(args)
         if args.write_baseline:
             if baseline_file is None:
@@ -172,4 +231,7 @@ def main(argv=None, out=None):
         _report_json(findings, new, stale, suppressed, out)
     else:
         _report_text(findings, new, stale, suppressed, out)
-    return 1 if new else 0
+    # A stale baseline entry means the baseline is out of date -- the
+    # debt it records was paid (or renamed).  Failing forces a refresh,
+    # so the checked-in file always matches reality.
+    return 1 if new or stale else 0

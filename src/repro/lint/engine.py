@@ -44,8 +44,12 @@ DEFAULT_BASELINE_NAME = "LINT_baseline.json"
 # explicit path).
 _SKIP_DIR_NAMES = {"__pycache__", "lint_fixtures", ".git"}
 
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
-_SUPPRESS_FILE_RE = re.compile(r"#\s*simlint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?\s*(?:--\s*)?(\S?.*)$"
+)
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*simlint:\s*ignore-file\[([A-Z0-9,\s]+)\]\s*(?:--\s*)?(\S?.*)$"
+)
 _SCOPE_RE = re.compile(r"#\s*simlint:\s*scope=(\w+)")
 
 
@@ -134,6 +138,7 @@ class ParsedModule:
         self.tree = ast.parse(source, filename=path)
         self.suppressions = {}  # line -> set of codes, or {"*"}
         self.file_suppressions = set()
+        self.unjustified = []   # (pragma line, sorted codes) missing a reason
         self.scope = self._infer_scope(path)
         self._scan_pragmas(source)
 
@@ -162,12 +167,23 @@ class ParsedModule:
             match = _SUPPRESS_FILE_RE.search(comment)
             if match and line_number <= 20:
                 self.file_suppressions.update(_codes(match.group(1)))
+                if not match.group(2).strip():
+                    self.unjustified.append(
+                        (line_number, ",".join(sorted(_codes(match.group(1)))))
+                    )
                 continue
             match = _SUPPRESS_RE.search(comment)
             if match:
                 codes = _codes(match.group(1)) if match.group(1) else {"*"}
                 anchor = self._anchor_line(lines, line_number)
                 self.suppressions.setdefault(anchor, set()).update(codes)
+                # A *coded* suppression is a claim ("this specific rule
+                # does not apply here") and must say why; a bare ignore
+                # is already flagged by review convention.
+                if match.group(1) and not match.group(2).strip():
+                    self.unjustified.append(
+                        (line_number, ",".join(sorted(codes)))
+                    )
             match = _SCOPE_RE.search(comment)
             if match and line_number <= 20:
                 self.scope = match.group(1)
@@ -216,39 +232,109 @@ def iter_python_files(paths):
             raise LintUsageError("no such file or directory: %s" % raw)
 
 
-def run_rules(paths, rules, selected_codes=None):
+UNJUSTIFIED_MESSAGE = (
+    "coded suppression ignore[%s] carries no justification; say why in "
+    "the same comment (the reason is the documentation the next reader "
+    "needs)"
+)
+
+
+def run_rules(paths, rules, selected_codes=None, phases=("file", "project"),
+              cache_dir=None):
     """Lint ``paths`` with ``rules``; returns (findings, suppressed_count).
 
     Findings are sorted by (path, line, col, code); suppressed findings
     are dropped and only counted.  Unparseable files produce an ``SL000``
-    finding instead of crashing the run (a syntax error is a finding).
+    finding instead of crashing the run (a syntax error is a finding);
+    a coded suppression with no justification produces an ``SL001``.
+
+    ``phases`` selects the per-file pass (``"file"``), the whole-program
+    pass over :class:`~repro.lint.project.ProjectRule` instances
+    (``"project"``), or both.  ``cache_dir`` (a Path) enables the
+    content-hash-keyed project-graph cache: on a hit the parse and graph
+    build are skipped entirely.
     """
+    from repro.lint.project import (
+        ProjectGraph,
+        ProjectRule,
+        load_cached_graph,
+        store_cached_graph,
+        tree_digest,
+    )
+
     if selected_codes:
-        known = {rule.code for rule in rules}
+        known = {rule.code for rule in rules} | {"SL000", "SL001"}
         unknown = set(selected_codes) - known
         if unknown:
             raise LintUsageError(
                 "unknown rule code(s): %s" % ", ".join(sorted(unknown))
             )
         rules = [rule for rule in rules if rule.code in selected_codes]
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    run_file = "file" in phases
+    run_project = "project" in phases and bool(project_rules)
+    emit_unjustified = run_file and (
+        selected_codes is None or "SL001" in selected_codes
+    )
+
     findings = []
     suppressed = 0
+    sources = []
+    errors = []  # (path, line, message) -> SL000
     for file_path in iter_python_files(paths):
         posix = file_path.as_posix()
         try:
-            source = file_path.read_text(encoding="utf-8")
-            module = ParsedModule(posix, source)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            line = getattr(exc, "lineno", 1) or 1
-            findings.append(
-                Finding("SL000", posix, line, 0, "unparseable: %s" % exc)
-            )
-            continue
-        for rule in rules:
-            if not rule.applies_to(module):
-                continue
-            for finding in rule.check(module):
-                if module.is_suppressed(finding):
+            sources.append((posix, file_path.read_text(encoding="utf-8")))
+        except UnicodeDecodeError as exc:
+            errors.append((posix, 1, "unparseable: %s" % exc))
+
+    digest = None
+    cached = None
+    if cache_dir is not None and run_project:
+        digest = tree_digest(sources)
+        cached = load_cached_graph(cache_dir, digest)
+    if cached is not None:
+        graph = cached["graph"]
+        errors.extend(cached.get("errors", ()))
+        modules = [info.parsed for _, info in sorted(graph.by_path.items())]
+    else:
+        modules = []
+        parse_errors = []
+        for posix, source in sources:
+            try:
+                modules.append(ParsedModule(posix, source))
+            except SyntaxError as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                parse_errors.append((posix, line, "unparseable: %s" % exc))
+        graph = ProjectGraph(modules) if run_project else None
+        if graph is not None and digest is not None:
+            store_cached_graph(cache_dir, digest, graph, parse_errors)
+        errors.extend(parse_errors)
+
+    for posix, line, message in errors:
+        findings.append(Finding("SL000", posix, line, 0, message))
+    if run_file:
+        for module in modules:
+            for rule in file_rules:
+                if not rule.applies_to(module):
+                    continue
+                for finding in rule.check(module):
+                    if module.is_suppressed(finding):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+            if emit_unjustified:
+                for line, codes in module.unjustified:
+                    findings.append(Finding(
+                        "SL001", module.path, line, 0,
+                        UNJUSTIFIED_MESSAGE % codes,
+                    ))
+    if run_project and graph is not None:
+        for rule in project_rules:
+            for finding in rule.check_project(graph):
+                info = graph.by_path.get(finding.path)
+                if info is not None and info.parsed.is_suppressed(finding):
                     suppressed += 1
                 else:
                     findings.append(finding)

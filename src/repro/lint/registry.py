@@ -10,17 +10,20 @@ row to the rule table in the docs.
 from repro.lint import (
     rules_callback,
     rules_ckpt,
+    rules_ckpt_project,
     rules_determinism,
     rules_dsm,
     rules_faults,
     rules_instrument,
+    rules_protocol,
     rules_shard,
     rules_topology,
+    rules_vocab,
 )
 
 
 def all_rules():
-    """Every registered rule, sorted by code."""
+    """Every registered rule, sorted by (numeric) code."""
     rules = (
         rules_determinism.RULES
         + rules_ckpt.RULES
@@ -30,5 +33,9 @@ def all_rules():
         + rules_shard.RULES
         + rules_topology.RULES
         + rules_dsm.RULES
+        + rules_protocol.RULES
+        + rules_vocab.RULES
+        + rules_ckpt_project.RULES
     )
-    return sorted(rules, key=lambda rule: rule.code)
+    # Numeric sort: "SL1001" must come after "SL903", not before "SL201".
+    return sorted(rules, key=lambda rule: int(rule.code[2:]))

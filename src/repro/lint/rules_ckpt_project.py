@@ -1,0 +1,186 @@
+"""SL11xx: checkpoint coverage across inheritance (whole-program).
+
+The per-file SL2xx rules deliberately require the whole
+``__init__``/``ckpt_capture``/``ckpt_restore`` triple to live in one
+class -- a single file cannot see a mixin.  That blind spot is exactly
+where drift hides: a component inherits ``ckpt_capture`` from a base in
+another module, grows a mutable attribute, and no per-file rule can
+connect the two.  These rules re-run the SL2xx logic over the project
+graph's C3 MRO, and fire *only* when the triple spans class boundaries,
+so a finding is reported exactly once (locally by SL201/SL202/SL203 or
+cross-file here, never both).
+
+The attribute/key heuristics are shared with ``rules_ckpt`` -- same
+notion of "own mutable state", same capture/restore key extraction --
+so the two layers cannot disagree about what counts.
+"""
+
+from repro.lint.project import ProjectRule
+from repro.lint.rules_ckpt import (
+    _PROTOCOL_METHODS,
+    _candidate_attrs,
+    _captured_keys,
+    _init_helpers,
+    _mutated_attrs,
+    _normalize,
+    _restored_keys,
+    _top_level_capture_keys,
+)
+
+
+def _mro_methods(graph, class_info):
+    """{name: (ClassInfo, FunctionDef)} with derived-first precedence."""
+    methods = {}
+    for ancestor in graph.mro(class_info):
+        for name, node in ancestor.methods().items():
+            methods.setdefault(name, (ancestor, node))
+    return methods
+
+
+def _protocol_triples(graph, class_info):
+    """(init, capture, restore) as (owner, node) pairs, or None.
+
+    None when the class does not implement the full protocol through its
+    MRO, or when the triple is local to a single class (the per-file
+    SL2xx rules own that case).
+    """
+    methods = _mro_methods(graph, class_info)
+    if "__init__" not in methods:
+        return None
+    if not _PROTOCOL_METHODS.issubset(methods):
+        return None
+    triple = (
+        methods["__init__"],
+        methods["ckpt_capture"],
+        methods["ckpt_restore"],
+    )
+    owners = {owner.qualname for owner, _ in triple}
+    if len(owners) == 1:
+        return None  # fully local: SL201/SL202/SL203 territory
+    return triple
+
+
+def _each_definition(graph, class_info, name):
+    """Every definition of ``name`` along the MRO (super() chains)."""
+    for ancestor in graph.mro(class_info):
+        node = ancestor.methods().get(name)
+        if node is not None:
+            yield node
+
+
+class CrossFileCkptCoverageRule(ProjectRule):
+    """SL1101: mutable state not covered once inheritance is resolved.
+
+    SL201 across class (and file) boundaries: ``__init__`` attributes
+    that are own mutable state and mutated anywhere along the MRO must
+    appear among the keys captured by *any* ``ckpt_capture`` in the
+    chain or be assigned by *any* ``ckpt_restore``.  Anchored on the
+    ``__init__`` assignment, in whichever module defines it, so the
+    ignore-with-reason convention works unchanged.
+    """
+
+    code = "SL1101"
+    title = "mutable attribute missing from inherited checkpoint coverage"
+
+    def check_project(self, graph):
+        for qualname in sorted(graph.classes):
+            class_info = graph.classes[qualname]
+            if not self.module_in_scope(class_info.module):
+                continue
+            triple = _protocol_triples(graph, class_info)
+            if triple is None:
+                continue
+            (init_owner, init), _, _ = triple
+            candidates = _candidate_attrs(init)
+            if not candidates:
+                continue
+            methods = {
+                name: node
+                for name, (_, node) in _mro_methods(graph, class_info).items()
+            }
+            mutated = _mutated_attrs(methods, skip=_init_helpers(init))
+            captured = set()
+            for capture in _each_definition(graph, class_info,
+                                            "ckpt_capture"):
+                captured.update(
+                    _normalize(key) for key in _captured_keys(capture)
+                )
+            restored_attrs = set()
+            for restore in _each_definition(graph, class_info,
+                                            "ckpt_restore"):
+                restored_attrs.update(_restored_keys(restore)[1])
+            for attr, line in sorted(candidates.items()):
+                if attr not in mutated:
+                    continue
+                if _normalize(attr) in captured or attr in restored_attrs:
+                    continue
+                finding = self.finding_at(
+                    init_owner.module, init,
+                    "%s.%s is mutable state (mutated in %s) but no "
+                    "ckpt_capture/ckpt_restore along the inheritance chain "
+                    "of %s covers it; checkpoint it or mark the assignment "
+                    "with an ignore explaining why it is not state"
+                    % (init_owner.name, attr, mutated[attr],
+                       class_info.qualname),
+                )
+                finding.line = line
+                yield finding
+
+
+class CrossFileCkptSymmetryRule(ProjectRule):
+    """SL1102: capture/restore key drift across the inheritance chain.
+
+    SL202/SL203 over the MRO union: the keys produced by every
+    ``ckpt_capture`` in the chain must match the keys every
+    ``ckpt_restore`` consumes.  A key restored but never captured is a
+    ``KeyError`` on the first real checkpoint; a key captured but never
+    restored is a silently incomplete restore.  Silent when any capture
+    in the chain cannot be resolved to dict literals (no guessing).
+    """
+
+    code = "SL1102"
+    title = "inherited ckpt_capture/ckpt_restore key sets drifted apart"
+
+    def check_project(self, graph):
+        for qualname in sorted(graph.classes):
+            class_info = graph.classes[qualname]
+            if not self.module_in_scope(class_info.module):
+                continue
+            triple = _protocol_triples(graph, class_info)
+            if triple is None:
+                continue
+            _, (capture_owner, _), (restore_owner, restore) = triple
+            captured = set()
+            unresolved = False
+            for capture in _each_definition(graph, class_info,
+                                            "ckpt_capture"):
+                keys = _top_level_capture_keys(capture)
+                if keys is None:
+                    unresolved = True
+                    break
+                captured.update(keys)
+            if unresolved:
+                continue
+            restored = set()
+            for restore_def in _each_definition(graph, class_info,
+                                                "ckpt_restore"):
+                restored.update(_restored_keys(restore_def)[0])
+            if not captured and not restored:
+                continue
+            for key in sorted(captured - restored):
+                yield self.finding_at(
+                    restore_owner.module, restore,
+                    "ckpt_capture along %s's inheritance chain writes key "
+                    "%r but no ckpt_restore in the chain reads it"
+                    % (class_info.qualname, key),
+                )
+            for key in sorted(restored - captured):
+                yield self.finding_at(
+                    restore_owner.module, restore,
+                    "ckpt_restore along %s's inheritance chain reads key "
+                    "%r that no ckpt_capture in the chain writes"
+                    % (class_info.qualname, key),
+                )
+
+
+RULES = (CrossFileCkptCoverageRule(), CrossFileCkptSymmetryRule())

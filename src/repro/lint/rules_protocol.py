@@ -1,0 +1,328 @@
+"""SL9xx: DSM protocol-order rules (whole-program, CFG dominance).
+
+The directory protocol in :mod:`repro.dsm.runtime` rests on three
+*ordering* invariants that no per-file syntax check can see
+(``docs/dsm.md`` states them; these rules certify them):
+
+- a ``WRITE_OK`` grant may only be sent once the section 4.4 sorted-
+  reader invalidation walk has completed -- every control-flow path to
+  the send must pass a "walk is empty / no acks outstanding" guard;
+- the durable last-grant record (``set_last_grant``, the duplicate-
+  request filter in DRAM) must be written before the page data push, so
+  a crash between the two can never re-push stale bytes over a granted
+  page;
+- the grant send itself must be preceded by the page push on every
+  path -- the deliberate-update deposit rides the same FIFO as the
+  grant frame, and per-sender in-order delivery only helps if the data
+  was queued *first*.
+
+The rules key on the protocol's own vocabulary: a module that defines a
+top-level ``WRITE_OK`` constant is a protocol engine; ``_send(...)``
+calls carrying ``WRITE_OK``/``READ_OK`` are grants; ``_push_page`` is
+the data push; ``set_last_grant`` is the durable record.  Guard
+expressions are recognized when they mention the walk state -- a
+``waiting`` name/key/attribute, a ``.readers(...)`` call, or a local
+name assigned from one.
+
+Cross-function flows are followed through the class: if a method sends
+a grant unguarded, every call site of that method (transitively, within
+the class) must sit behind a walk guard -- exactly how
+``_grant_write`` is reached from ``_proceed`` (the empty-walk branch)
+and ``_home_inval_ack`` (the last-ack branch).
+"""
+
+import ast
+
+from repro.lint.cfg import build_cfg, shallow_exprs
+from repro.lint.project import ProjectRule
+
+GRANT_SEND = "_send"
+PUSH_CALL = "_push_page"
+DURABLE_CALL = "set_last_grant"
+WRITE_GRANT_CONSTANTS = {"WRITE_OK"}
+GRANT_CONSTANTS = {"WRITE_OK", "READ_OK"}
+_WALK_HINTS = {"waiting", "walk"}
+_WALK_CALLS = {"readers"}
+
+
+def _protocol_modules(graph):
+    """Modules that *are* a coherence engine: they define the grant
+    message vocabulary at module level."""
+    for name in sorted(graph.modules):
+        info = graph.modules[name]
+        if "WRITE_OK" in info.top_defs:
+            yield info
+
+
+def _call_attr(node):
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_grant_send(expr, constants):
+    """A ``*._send(...)`` call whose arguments carry a grant constant."""
+    for node in ast.walk(expr):
+        if _call_attr(node) != GRANT_SEND:
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id in constants:
+                return True
+            if isinstance(arg, ast.Attribute) and arg.attr in constants:
+                return True
+    return False
+
+
+def _contains_attr_call(expr, attr):
+    return any(_call_attr(node) == attr for node in ast.walk(expr))
+
+
+def _stmt_has(cfg, nid, predicate):
+    return any(predicate(expr) for expr in shallow_exprs(cfg.stmts[nid]))
+
+
+class _MethodCfg:
+    """A method's CFG plus the protocol-relevant node sets."""
+
+    def __init__(self, func, constants):
+        self.func = func
+        self.cfg = build_cfg(func)
+        self.walk_names = self._derived_walk_names(func)
+        self.grant_sends = self.cfg.nodes_matching(
+            lambda e: _is_grant_send(e, constants)
+        )
+        self.write_sends = self.cfg.nodes_matching(
+            lambda e: _is_grant_send(e, WRITE_GRANT_CONSTANTS)
+        )
+        self.pushes = self.cfg.nodes_matching(
+            lambda e: _contains_attr_call(e, PUSH_CALL)
+        )
+        self.durables = self.cfg.nodes_matching(
+            lambda e: _contains_attr_call(e, DURABLE_CALL)
+        )
+        self.guard_edges = self._guard_edges()
+
+    def _derived_walk_names(self, func):
+        """Local names assigned from an expression that mentions the
+        walk state (``walk = [r for r in directory.readers(page) ...]``)."""
+        names = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._mentions_walk(
+                node.value, ()
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _mentions_walk(expr, extra_names):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and (
+                node.id in _WALK_HINTS or node.id in extra_names
+            ):
+                return True
+            if isinstance(node, ast.Attribute) and (
+                node.attr in _WALK_HINTS or node.attr in _WALK_CALLS
+            ):
+                return True
+            if isinstance(node, ast.Constant) and node.value in _WALK_HINTS:
+                return True  # txn["waiting"] subscripts
+        return False
+
+    def _guard_edges(self):
+        """Branch edges that certify "the walk has completed".
+
+        ``if <walk-state>:`` guards its *false* edge (the walk is
+        empty); ``if not <walk-state>:`` guards its *true* edge (no
+        acks outstanding).
+        """
+        edges = set()
+        for nid, stmt in self.cfg.stmts.items():
+            if not isinstance(stmt, ast.If):
+                continue
+            test = stmt.test
+            if isinstance(test, ast.UnaryOp) and isinstance(
+                test.op, ast.Not
+            ):
+                if self._mentions_walk(test.operand, self.walk_names):
+                    edges.add((nid, "true"))
+            elif self._mentions_walk(test, self.walk_names):
+                edges.add((nid, "false"))
+        return edges
+
+    def call_sites_of(self, method_name):
+        """Node ids whose statement calls ``self.<method_name>``/
+        ``obj.<method_name>`` (attribute calls only)."""
+        return self.cfg.nodes_matching(
+            lambda e: _contains_attr_call(e, method_name)
+        )
+
+    def guarded(self, nid):
+        """True when every ENTRY path to ``nid`` crosses a guard edge."""
+        return not self.cfg.reaches_without(
+            nid, blocked_edges=self.guard_edges
+        )
+
+
+def _class_method_cfgs(class_info, constants):
+    return {
+        name: _MethodCfg(func, constants)
+        for name, func in sorted(class_info.methods().items())
+    }
+
+
+class WriteGrantWalkRule(ProjectRule):
+    """SL901: a WRITE_OK grant not dominated by a completed inval walk.
+
+    Sending ``WRITE_OK`` while a reader copy may survive breaks single-
+    writer: the new owner's stores race stale readers that the section
+    4.4 walk was supposed to shoot down.  Every control-flow path to a
+    ``WRITE_OK`` ``_send`` must pass a branch proving the walk is
+    complete -- ``if walk:`` (taking the empty side), or ``if not
+    txn["waiting"]:`` (the last ``INVAL_ACK`` arrived).  The check
+    follows calls through the class: an unguarded sender method is fine
+    when *every* call site of it (transitively) sits behind such a
+    guard.  Flagged sites either need the guard restored or the send
+    moved behind the walk completion.
+    """
+
+    code = "SL901"
+    title = "WRITE_OK grant not dominated by a completed inval walk"
+
+    def check_project(self, graph):
+        for info in _protocol_modules(graph):
+            if not self.module_in_scope(info):
+                continue
+            for class_info in _classes_of(graph, info):
+                yield from self._check_class(info, class_info)
+
+    def _check_class(self, info, class_info):
+        cfgs = _class_method_cfgs(class_info, WRITE_GRANT_CONSTANTS)
+        entry_ok = {}  # method name -> every entry into it is post-walk
+
+        def method_entry_guarded(name, visiting):
+            if name in entry_ok:
+                return entry_ok[name]
+            if name in visiting:
+                return False  # recursion: assume the worst
+            sites = []
+            for caller, mcfg in cfgs.items():
+                if caller == name:
+                    continue
+                for nid in mcfg.call_sites_of(name):
+                    sites.append((caller, mcfg, nid))
+            if not sites:
+                entry_ok[name] = False
+                return False
+            ok = all(
+                mcfg.guarded(nid)
+                or method_entry_guarded(caller, visiting | {name})
+                for caller, mcfg, nid in sites
+            )
+            entry_ok[name] = ok
+            return ok
+
+        for name in sorted(cfgs):
+            mcfg = cfgs[name]
+            for nid in sorted(mcfg.write_sends):
+                if mcfg.guarded(nid):
+                    continue
+                if method_entry_guarded(name, set()):
+                    continue
+                yield self.finding_at(
+                    info, mcfg.cfg.stmts[nid],
+                    "%s.%s sends WRITE_OK on a path not dominated by a "
+                    "completed reader-invalidation walk (no 'walk is "
+                    "empty' / 'not waiting' guard on the way, locally or "
+                    "at every call site)" % (class_info.name, name),
+                )
+
+
+class DurableBeforePushRule(ProjectRule):
+    """SL902: a page push not dominated by the durable last-grant write.
+
+    ``set_last_grant`` is the DRAM record that makes an already-granted
+    request recognizable after a retry races its own grant; if the data
+    push can happen first, a crash between push and record leaves a
+    granted page whose duplicate request would be re-granted -- and
+    re-pushed with the home's stale copy.  Every ``_push_page`` call in
+    a grant-sending method must be preceded by ``set_last_grant`` on
+    all paths.
+    """
+
+    code = "SL902"
+    title = "page push not dominated by the durable last-grant update"
+
+    def check_project(self, graph):
+        for info in _protocol_modules(graph):
+            if not self.module_in_scope(info):
+                continue
+            for class_info in _classes_of(graph, info):
+                cfgs = _class_method_cfgs(class_info, GRANT_CONSTANTS)
+                for name in sorted(cfgs):
+                    mcfg = cfgs[name]
+                    if not mcfg.grant_sends:
+                        continue
+                    for nid in sorted(mcfg.pushes):
+                        if mcfg.cfg.reaches_without(
+                            nid, blocked_nodes=mcfg.durables
+                        ):
+                            yield self.finding_at(
+                                info, mcfg.cfg.stmts[nid],
+                                "%s.%s pushes page data on a path where "
+                                "set_last_grant has not run; write the "
+                                "durable last-grant record before the "
+                                "push" % (class_info.name, name),
+                            )
+
+
+class PushBeforeGrantRule(ProjectRule):
+    """SL903: a grant send not dominated by its page push.
+
+    The deposit and the grant share one FIFO; per-sender in-order
+    delivery guarantees the deposit lands first *only if it was queued
+    first*.  A ``READ_OK``/``WRITE_OK`` ``_send`` reachable without a
+    prior ``_push_page`` call hands out rights to a frame whose bytes
+    may still be stale.  (The push itself may short-circuit when
+    requester == home -- the home's frame *is* the memory copy -- but
+    the call must dominate the send.)
+    """
+
+    code = "SL903"
+    title = "grant send not dominated by its page data push"
+
+    def check_project(self, graph):
+        for info in _protocol_modules(graph):
+            if not self.module_in_scope(info):
+                continue
+            for class_info in _classes_of(graph, info):
+                cfgs = _class_method_cfgs(class_info, GRANT_CONSTANTS)
+                for name in sorted(cfgs):
+                    mcfg = cfgs[name]
+                    for nid in sorted(mcfg.grant_sends):
+                        if mcfg.cfg.reaches_without(
+                            nid, blocked_nodes=mcfg.pushes
+                        ):
+                            yield self.finding_at(
+                                info, mcfg.cfg.stmts[nid],
+                                "%s.%s sends a grant on a path with no "
+                                "preceding _push_page: the deliberate-"
+                                "update deposit must be queued before "
+                                "the doorbell" % (class_info.name, name),
+                            )
+
+
+def _classes_of(graph, info):
+    for class_name in sorted(
+        n for n, node in info.top_defs.items()
+        if isinstance(node, ast.ClassDef)
+    ):
+        qual = (info.name + "." + class_name if info.name
+                else info.path + "::" + class_name)
+        class_info = graph.classes.get(qual)
+        if class_info is not None:
+            yield class_info
+
+
+RULES = (WriteGrantWalkRule(), DurableBeforePushRule(), PushBeforeGrantRule())

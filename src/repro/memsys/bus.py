@@ -99,7 +99,7 @@ class XpressBus:
         # Wiring, not state: devices and snoopers attach while the node is
         # built and hold live objects; an identically built machine has
         # identical wiring, so the checkpoint skips both.
-        self._ranges = []  # (lo, hi, device)  # simlint: ignore[SL201]
+        self._ranges = []  # (lo, hi, device)  # simlint: ignore[SL201] wiring built once by attach()
         self._snoopers = []  # simlint: ignore[SL201] live callables
         self.instr = Instrumentation.of(sim)
         self.transactions = self.instr.counter(name + ".transactions")

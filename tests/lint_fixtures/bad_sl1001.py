@@ -1,0 +1,25 @@
+# simlint: scope=sim
+"""SL1001: an emitted event kind missing from the vocabulary table."""
+
+from repro.sim.instrument import Instrumentation
+
+EVENT_KINDS = {
+    "nic.injected": "packet handed to the mesh injection FIFO",
+}
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def inject(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, "nic.injected", packet=packet)
+
+    def reorder(self, packet):
+        if self.hub.active:
+            # BUG: no EVENT_KINDS row says what nic.reordered means, so
+            # dashboards and docs/observability.md never learn it exists.
+            self.hub.emit(self.name, "nic.reordered", packet=packet)

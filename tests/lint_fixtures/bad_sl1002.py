@@ -1,0 +1,22 @@
+# simlint: scope=sim
+"""SL1002: a vocabulary row whose last emitter was deleted."""
+
+from repro.sim.instrument import Instrumentation
+
+EVENT_KINDS = {
+    "nic.injected": "packet handed to the mesh injection FIFO",
+    # BUG: the kernel-message path was refactored away; this row now
+    # documents behavior that no longer exists anywhere in the tree.
+    "nic.kernel_msg": "packet delivered to the kernel message queue",
+}
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def inject(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, "nic.injected", packet=packet)

@@ -1,0 +1,25 @@
+# simlint: scope=sim
+"""SL1102: capture and restore drifted apart across the MRO.
+
+The capture lives in the base, the restore in the subclass; each class
+alone looks fine to SL202/SL203, but the chain captures ``ticks`` while
+the restore reads ``tick_count``.
+"""
+
+
+class BaseStage:
+    def __init__(self, sim):
+        self.sim = sim
+        self._ticks = 0
+
+    def tick(self):
+        self._ticks += 1
+
+    def ckpt_capture(self):
+        return {"ticks": self._ticks}
+
+
+class RenamedStage(BaseStage):
+    def ckpt_restore(self, state):
+        # BUG: the capture key was never renamed to match.
+        self._ticks = state["tick_count"]

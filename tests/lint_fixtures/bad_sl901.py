@@ -1,0 +1,25 @@
+# simlint: scope=sim
+"""SL901: WRITE_OK sent without waiting for the invalidation walk."""
+
+WRITE_OK = "write_ok"
+INVAL = "inval"
+
+
+class HomeEngine:
+    def __init__(self, channel, store, directory):
+        self.channel = channel
+        self.store = store
+        self.directory = directory
+
+    def _push_page(self, page, dst):
+        self.channel.push(page, dst)
+
+    def _send(self, dst, kind, page):
+        self.channel.send(dst, kind, page)
+
+    def _proceed(self, txn):
+        # BUG: grants write access without ever checking that the
+        # sorted-reader invalidation walk has completed.
+        self.store.set_last_grant(txn["page"], txn["node"])
+        self._push_page(txn["page"], txn["node"])
+        self._send(txn["node"], WRITE_OK, txn["page"])

@@ -1,0 +1,24 @@
+# simlint: scope=sim
+"""SL902: page data pushed before the durable last-grant record."""
+
+WRITE_OK = "write_ok"
+READ_OK = "read_ok"
+
+
+class HomeEngine:
+    def __init__(self, channel, store):
+        self.channel = channel
+        self.store = store
+
+    def _push_page(self, page, dst):
+        self.channel.push(page, dst)
+
+    def _send(self, dst, kind, page):
+        self.channel.send(dst, kind, page)
+
+    def _grant_read(self, txn):
+        # BUG: a crash between the push and set_last_grant leaves a
+        # granted page whose duplicate request would be re-pushed stale.
+        self._push_page(txn["page"], txn["node"])
+        self.store.set_last_grant(txn["page"], txn["node"])
+        self._send(txn["node"], READ_OK, txn["page"])

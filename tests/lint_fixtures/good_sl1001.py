@@ -1,0 +1,24 @@
+# simlint: scope=sim
+"""SL1001 pass: every emitted kind has a vocabulary row."""
+
+from repro.sim.instrument import Instrumentation
+
+EVENT_KINDS = {
+    "nic.injected": "packet handed to the mesh injection FIFO",
+    "nic.reordered": "packet re-queued behind a younger arrival",
+}
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def inject(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, "nic.injected", packet=packet)
+
+    def reorder(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, "nic.reordered", packet=packet)

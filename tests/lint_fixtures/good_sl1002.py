@@ -1,0 +1,36 @@
+# simlint: scope=sim
+"""SL1002 pass: every vocabulary row has a live emitter.
+
+Kinds may be emitted through a module-level constant or a literal
+table; both resolve statically, so the dead-entry proof still works.
+"""
+
+from repro.sim.instrument import Instrumentation
+
+EVENT_KINDS = {
+    "nic.injected": "packet handed to the mesh injection FIFO",
+    "nic.delivered": "packet payload deposited into DRAM",
+    "nic.crc_drop": "packet dropped by the CRC check",
+}
+
+_DROP_KIND = "nic.crc_drop"
+
+_STAGE_KINDS = {
+    "injected": "nic.injected",
+    "delivered": "nic.delivered",
+}
+
+
+class Device:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.hub = Instrumentation.of(sim)
+
+    def stage(self, which, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, _STAGE_KINDS[which], packet=packet)
+
+    def drop(self, packet):
+        if self.hub.active:
+            self.hub.emit(self.name, _DROP_KIND, packet=packet)

@@ -1,0 +1,43 @@
+# simlint: scope=sim
+"""SL901 pass: every path to the WRITE_OK send proves the walk is done.
+
+``_grant_write`` itself is unguarded, but both of its call sites sit
+behind a walk-completion branch -- the empty-walk side of ``_proceed``
+and the last-ack side of ``_home_inval_ack`` -- which is exactly the
+cross-method shape of ``repro.dsm.runtime``.
+"""
+
+WRITE_OK = "write_ok"
+INVAL = "inval"
+
+
+class HomeEngine:
+    def __init__(self, channel, store, directory):
+        self.channel = channel
+        self.store = store
+        self.directory = directory
+
+    def _push_page(self, page, dst):
+        self.channel.push(page, dst)
+
+    def _send(self, dst, kind, page):
+        self.channel.send(dst, kind, page)
+
+    def _proceed(self, txn):
+        walk = self.directory.readers(txn["page"])
+        if walk:
+            for reader in walk:
+                self._send(reader, INVAL, txn["page"])
+            txn["waiting"] = len(walk)
+            return
+        self._grant_write(txn)
+
+    def _home_inval_ack(self, txn):
+        txn["waiting"] -= 1
+        if not txn["waiting"]:
+            self._grant_write(txn)
+
+    def _grant_write(self, txn):
+        self.store.set_last_grant(txn["page"], txn["node"])
+        self._push_page(txn["page"], txn["node"])
+        self._send(txn["node"], WRITE_OK, txn["page"])

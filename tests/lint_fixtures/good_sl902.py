@@ -1,0 +1,22 @@
+# simlint: scope=sim
+"""SL902 pass: the durable last-grant record dominates the data push."""
+
+WRITE_OK = "write_ok"
+READ_OK = "read_ok"
+
+
+class HomeEngine:
+    def __init__(self, channel, store):
+        self.channel = channel
+        self.store = store
+
+    def _push_page(self, page, dst):
+        self.channel.push(page, dst)
+
+    def _send(self, dst, kind, page):
+        self.channel.send(dst, kind, page)
+
+    def _grant_read(self, txn):
+        self.store.set_last_grant(txn["page"], txn["node"])
+        self._push_page(txn["page"], txn["node"])
+        self._send(txn["node"], READ_OK, txn["page"])

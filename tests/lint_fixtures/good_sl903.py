@@ -1,0 +1,29 @@
+# simlint: scope=sim
+"""SL903 pass: the page push dominates the grant send.
+
+The push may still short-circuit internally when requester == home
+(the home's frame *is* the memory copy); what matters is that the
+call is queued before the doorbell on every path.
+"""
+
+WRITE_OK = "write_ok"
+READ_OK = "read_ok"
+
+
+class HomeEngine:
+    def __init__(self, channel, store):
+        self.channel = channel
+        self.store = store
+
+    def _push_page(self, page, dst):
+        if dst == self.store.home:
+            return
+        self.channel.push(page, dst)
+
+    def _send(self, dst, kind, page):
+        self.channel.send(dst, kind, page)
+
+    def _grant_read(self, txn):
+        self.store.set_last_grant(txn["page"], txn["node"])
+        self._push_page(txn["page"], txn["node"])
+        self._send(txn["node"], READ_OK, txn["page"])

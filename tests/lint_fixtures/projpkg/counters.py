@@ -1,0 +1,10 @@
+# simlint: scope=sim
+"""The base class whose checkpoint pair the subclass inherits."""
+
+
+class BaseCounter:
+    def ckpt_capture(self):
+        return {"ticks": self._ticks}
+
+    def ckpt_restore(self, state):
+        self._ticks = state["ticks"]

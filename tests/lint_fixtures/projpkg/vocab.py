@@ -1,0 +1,8 @@
+# simlint: scope=sim
+"""The package's central event vocabulary (one live row, one dead)."""
+
+EVENT_KINDS = {
+    "dev.tick": "device advanced one tick",
+    # Nothing in the package emits this: SL1002 flags the row.
+    "dev.dead": "a stage that was refactored away",
+}

@@ -29,6 +29,9 @@ ALL_CODES = [
     "SL601",
     "SL701",
     "SL801",
+    "SL901", "SL902", "SL903",
+    "SL1001", "SL1002",
+    "SL1101", "SL1102",
 ]
 
 
@@ -44,7 +47,8 @@ def lint_paths(*paths, select=None):
 
 def test_registry_covers_every_code_exactly_once():
     codes = [rule.code for rule in all_rules()]
-    assert codes == sorted(codes)
+    # Numeric order, not lexicographic: SL1001 sorts after SL903.
+    assert codes == sorted(codes, key=lambda code: int(code[2:]))
     assert codes == ALL_CODES
 
 
@@ -144,9 +148,19 @@ def test_bare_ignore_suppresses_every_code(tmp_path):
 def test_ignore_with_wrong_code_does_not_suppress(tmp_path):
     path = tmp_path / "mod.py"
     path.write_text(_one_liner_violation().format(
-        trailing="  # simlint: ignore[SL102]"))
+        trailing="  # simlint: ignore[SL102] deliberately wrong code"))
     findings, suppressed = lint_paths(path)
     assert [f.code for f in findings] == ["SL101"] and suppressed == 0
+
+
+def test_reasonless_coded_ignore_is_flagged(tmp_path):
+    """A coded suppression is a claim and must say why (SL001)."""
+    path = tmp_path / "mod.py"
+    path.write_text(_one_liner_violation().format(
+        trailing="  # simlint: ignore[SL101]"))
+    findings, suppressed = lint_paths(path)
+    assert [f.code for f in findings] == ["SL001"] and suppressed == 1
+    assert "no justification" in findings[0].message
 
 
 def test_ignore_file_suppresses_for_the_whole_file(tmp_path):
@@ -279,10 +293,12 @@ def test_cli_write_baseline_roundtrip(tmp_path):
     assert result.returncode == 0
     assert "1 baselined" in result.stdout
 
-    # Fixing the violation reports the baseline entry as stale.
+    # Fixing the violation makes the baseline entry stale -- and a stale
+    # baseline FAILS the run, forcing a refresh so the checked-in file
+    # always matches reality.
     fixture.write_text("# simlint: scope=sim\n")
     result = run_cli(str(fixture), "--baseline", str(baseline))
-    assert result.returncode == 0
+    assert result.returncode == 1
     assert "stale baseline entry" in result.stdout
 
 
