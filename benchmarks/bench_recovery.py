@@ -17,6 +17,16 @@ so the numbers below are the *cost of a recovery that provably worked*:
   while the node was dark (the channel's recovery overhead);
 - ``dropped_packets``     -- volatile NIC state lost with the node.
 
+The ``dsm_homecrash`` scale crashes a DSM *home* instead
+(:mod:`repro.dsm`, see docs/dsm.md "Crash recovery") and times the
+directory-rebuild machinery, again only after the final shared bytes
+matched the closed form:
+
+- ``rebuild_window_ns``   -- ``dsm.rebuild_start`` to ``dsm.rebuild_done``:
+  how long the restored home spent collecting survivor claims;
+- ``replayed_requests``   -- parked/deferred DSM requests replayed once
+  the rebuild finished.
+
 All of those are deterministic simulated observables; only
 ``run_wall_s`` is host-dependent.  Results are recorded in
 ``BENCH_recovery.json`` at the repository root:
@@ -46,6 +56,8 @@ DETERMINISTIC_KEYS = (
     "frames_replayed",
     "retransmits",
     "dropped_packets",
+    "rebuild_window_ns",
+    "replayed_requests",
     "end_ns",
 )
 
@@ -82,6 +94,51 @@ def _measure(words_per_sender, payload_count, crash_delay_ns, dwell_ns):
     }
 
 
+def _measure_homecrash(quick, crash_at=400_000, dwell_ns=120_000):
+    """The DSM home-crash scale: crash home node 1 mid-run, let the
+    directory rebuild + lease replay recover it, verify the shared
+    bytes against the closed form, and time the rebuild window."""
+    from repro.faults.recovery import spawn_crash_restore_cycle
+    from repro.sim.instrument import Instrumentation
+    from repro.workload.dsm_apps import DsmWorkload
+
+    w = DsmWorkload(kind="homecrash", width=4, height=1 if quick else 4,
+                    iterations=2).start()
+    hub = Instrumentation.of(w.system.sim)
+    hub.enable_events(only_kinds={
+        "dsm.rebuild_start", "dsm.rebuild_done",
+        "fault.node_crash", "fault.node_restore",
+    })
+    outcome = {}
+    spawn_crash_restore_cycle(
+        w.system, 1, crash_at, dwell_ns, w.runtime.mappings,
+        channels=list(w.runtime.channels()) + [w.runtime],
+        outcome=outcome,
+    )
+    t0 = time.perf_counter()
+    w.run()
+    run_wall = time.perf_counter() - t0
+
+    assert "restored_at" in outcome, "recovery never completed"
+    assert w.final_shared_bytes() == w.expected_homecrash(), (
+        "recovered shared bytes diverge from the closed form"
+    )
+    crash = [e for e in hub.events() if e.kind == "fault.node_crash"]
+    restore = [e for e in hub.events() if e.kind == "fault.node_restore"]
+    starts = [e for e in hub.events() if e.kind == "dsm.rebuild_start"
+              and e.fields["node"] == 1]
+    dones = [e for e in hub.events() if e.kind == "dsm.rebuild_done"
+             and e.fields["node"] == 1]
+    assert len(starts) == 1 and len(dones) == 1, "expected one rebuild"
+    return {
+        "recovery_window_ns": restore[0].time - crash[0].time,
+        "rebuild_window_ns": dones[0].time - starts[0].time,
+        "replayed_requests": hub.value("dsm.replays"),
+        "end_ns": w.system.sim.now,
+        "run_wall_s": run_wall,
+    }
+
+
 SCALES = {
     "storm_crash_midrun": lambda quick: _measure(
         words_per_sender=12 if quick else 24,
@@ -95,6 +152,7 @@ SCALES = {
         crash_delay_ns=30_000 if quick else 60_000,
         dwell_ns=8_000,
     ),
+    "dsm_homecrash": _measure_homecrash,
 }
 
 
@@ -110,6 +168,8 @@ def run_all(quick=False, repeat=3):
     for name, fn in SCALES.items():
         runs = [fn(quick) for _ in range(max(1, repeat))]
         for key in DETERMINISTIC_KEYS:
+            if key not in runs[0]:
+                continue  # scales record different observable sets
             values = {r[key] for r in runs}
             assert len(values) == 1, (
                 "%s: %s must be deterministic, saw %s" % (name, key, values)
@@ -131,8 +191,12 @@ def check_regression(old, new,
         if not prior:
             continue
         for key in ("recovery_window_ns", "replay_window_ns",
-                    "frames_replayed", "retransmits"):
-            if key not in prior:
+                    "frames_replayed", "retransmits",
+                    "rebuild_window_ns", "replayed_requests"):
+            # Keys are compared only when both runs recorded them: the
+            # scales record different observable sets, and an older
+            # baseline may predate a key entirely.
+            if key not in prior or key not in result:
                 continue
             ceiling = prior[key] * (1.0 + window_tolerance)
             if result[key] > ceiling:
@@ -166,11 +230,18 @@ def main(argv=None):
 
     results = run_all(quick=args.quick, repeat=args.repeat)
     for name, result in results.items():
-        print("%-24s recover %7d ns  replay %7d ns  frames %3d  "
-              "retx %3d  wall %6.3f s"
-              % (name, result["recovery_window_ns"],
-                 result["replay_window_ns"], result["frames_replayed"],
-                 result["retransmits"], result["run_wall_s"]))
+        if "rebuild_window_ns" in result:
+            print("%-24s recover %7d ns  rebuild %7d ns  replays %3d  "
+                  "wall %6.3f s"
+                  % (name, result["recovery_window_ns"],
+                     result["rebuild_window_ns"],
+                     result["replayed_requests"], result["run_wall_s"]))
+        else:
+            print("%-24s recover %7d ns  replay %7d ns  frames %3d  "
+                  "retx %3d  wall %6.3f s"
+                  % (name, result["recovery_window_ns"],
+                     result["replay_window_ns"], result["frames_replayed"],
+                     result["retransmits"], result["run_wall_s"]))
 
     if args.quick:
         print("(quick mode: results not written)")

@@ -64,6 +64,11 @@ EVENT_KINDS = {
     "dsm.recall": "DSM home recalled the current page owner",
     "dsm.inval_walk": "section 4.4 sorted-reader invalidation walk began",
     "dsm.inval": "DSM reader copy invalidated by the walk",
+    "dsm.lease_expired": "DSM request lease lapsed; faulter parked",
+    "dsm.replay": "parked DSM faulter re-sent its request",
+    "dsm.rebuild_start": "restored DSM home began its directory rebuild",
+    "dsm.rebuild_done": "DSM directory rebuild resolved every homed page",
+    "dsm.lock_revoke": "DSM lock home revoked a lapsed holder's tenure",
 }
 
 #: The trailing (greppable) segment of every registered metric name.
@@ -116,6 +121,10 @@ METRIC_LEAVES = {
     "recalls": "DSM owner recalls",
     "fetch_ns": "DSM read-fetch latency",
     "upgrade_ns": "DSM write-upgrade latency",
+    "lease_expirations": "DSM request leases that lapsed",
+    "replays": "parked DSM requests re-sent after recovery",
+    "rebuilds": "DSM home directory rebuilds",
+    "lock_revokes": "DSM lock tenures revoked on lease lapse",
     "latency_ns": "workload request latency",
     "requests": "workload requests issued",
     "responses": "workload responses completed",

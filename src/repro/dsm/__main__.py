@@ -5,6 +5,7 @@ Examples::
     python -m repro.dsm --kind stencil --width 8 --height 8
     python -m repro.dsm --kind bfs --width 4 --height 4 --json
     python -m repro.dsm --kind kv --requests 64 --shards 4
+    python -m repro.dsm --kind homecrash --crash-home 1 --crash-at 400000
 
 Reports the ``dsm.*`` metrics namespace -- faults, fetches,
 invalidations, recalls, and the fetch/upgrade latency histograms -- and
@@ -36,6 +37,13 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=1, help="kv seed")
     parser.add_argument("--requests", type=int, default=32,
                         help="kv request count")
+    parser.add_argument("--crash-home", type=int, default=None, metavar="NODE",
+                        help="crash this node mid-run and restore it (arms "
+                             "DSM crash recovery; requires --crash-at)")
+    parser.add_argument("--crash-at", type=int, default=None, metavar="NS",
+                        help="simulated time of the --crash-home crash")
+    parser.add_argument("--dwell-ns", type=int, default=120_000,
+                        help="how long the crashed node stays down")
     parser.add_argument("--shards", type=int, default=1,
                         help="run through repro.sharded with this many shards")
     parser.add_argument("--backend", choices=("inline", "process"),
@@ -43,6 +51,22 @@ def main(argv=None):
     parser.add_argument("--json", action="store_true",
                         help="emit the metrics snapshot as JSON")
     args = parser.parse_args(argv)
+
+    crash = args.crash_home is not None
+    if crash != (args.crash_at is not None):
+        parser.error("--crash-home and --crash-at go together")
+    if crash:
+        if not 0 <= args.crash_home < args.width * args.height:
+            parser.error("--crash-home %d is not a node of a %dx%d mesh"
+                         % (args.crash_home, args.width, args.height))
+        if args.crash_at < 0:
+            parser.error("--crash-at must be >= 0")
+        if args.dwell_ns < 0:
+            parser.error("--dwell-ns must be >= 0")
+        if args.shards > 1:
+            parser.error("--crash-home does not combine with --shards; "
+                         "use the dsm_homecrash scenario of "
+                         "python -m repro.sharded for a sharded crash run")
 
     kwargs = dict(kind=args.kind, width=args.width, height=args.height,
                   iterations=args.iterations, words=args.words,
@@ -60,13 +84,23 @@ def main(argv=None):
                  result["fingerprint"]["now"]))
         return 0
 
-    workload = DsmWorkload(**kwargs).start()
+    workload = DsmWorkload(recovery=crash, **kwargs).start()
+    if crash:
+        from repro.faults.recovery import spawn_crash_restore_cycle
+
+        spawn_crash_restore_cycle(
+            workload.system, args.crash_home, args.crash_at, args.dwell_ns,
+            workload.runtime.mappings,
+            channels=workload.runtime.channels() + [workload.runtime])
     workload.run()
     instr = Instrumentation.of(workload.system.sim)
 
     checked = "unchecked"
     if args.kind == "stencil":
         ok = workload.final_shared_bytes() == workload.expected_stencil()
+        checked = "ok" if ok else "MISMATCH"
+    elif args.kind == "homecrash":
+        ok = workload.final_shared_bytes() == workload.expected_homecrash()
         checked = "ok" if ok else "MISMATCH"
     elif args.kind == "bfs":
         dist = [workload.segments[0].peek(workload._bfs_addr(i))

@@ -87,9 +87,41 @@ BARRIER_RELEASE = 11
 LOCK_ACQ = 12
 LOCK_GRANT = 13
 LOCK_REL = 14
+#: Directory-rebuild kinds (home-crash recovery, :meth:`DsmRuntime.
+#: arm_recovery`).  A restored home broadcasts ``RECOVER_REQ``; peers
+#: answer one ``RECOVER_CLAIM`` per surviving right or byte copy and
+#: fence with ``RECOVER_DONE``; the home refreshes its memory copy with
+#: ``RECOVER_PULL``/``RECOVER_PULL_ACK`` and unparks blocked faulters
+#: with ``REBUILD_DONE``.  ``LOCK_RENEW`` is the holder-side heartbeat
+#: of the lock lease (:mod:`repro.dsm.sync`).
+RECOVER_REQ = 15
+RECOVER_CLAIM = 16
+RECOVER_DONE = 17
+RECOVER_PULL = 18
+RECOVER_PULL_ACK = 19
+REBUILD_DONE = 20
+LOCK_RENEW = 21
 
 _SYNC_KINDS = (BARRIER_ARRIVE, BARRIER_RELEASE, LOCK_ACQ, LOCK_GRANT,
-               LOCK_REL)
+               LOCK_REL, LOCK_RENEW)
+
+#: RECOVER_CLAIM codes (low 3 bits of the claim arg; the grant stamp is
+#: in the bits above).  READ/WRITE claim a live right; PUSHED claims no
+#: right but a frame whose bytes match the stamped grant generation (a
+#: recalled or invalidated copy -- the freshest surviving bytes when the
+#: home's own frame rolled back past a push); LOCK claims lock tenure.
+CLAIM_READ = 1
+CLAIM_WRITE = 2
+CLAIM_PUSHED = 3
+CLAIM_LOCK = 4
+_CLAIM_CODE_BITS = 3
+
+#: Grants pack ``(stamp << 16) | (token & 0xFFFF)`` into their arg word:
+#: the requester-chosen token (low bits) matches the grant to a pending
+#: fault, the home-issued per-page grant stamp (high bits) gives claims
+#: a total order per page for conflict resolution after a home crash.
+_STAMP_SHIFT = 16
+_TOKEN_MASK = (1 << _STAMP_SHIFT) - 1
 
 
 class DsmRuntime:
@@ -133,6 +165,26 @@ class DsmRuntime:
         self._service = [None] * n
         self._apps = [[] for _ in range(n)]        # (factory, process)
         self._sync = {}                            # page -> sync object
+        # Volatile claim-tracking (driver registers, dropped with the
+        # node on a crash): per node, the grant stamp of each held right
+        # and of the last tenure whose bytes still sit in a rightless
+        # frame; per page at the home, the next grant stamp to issue.
+        self._held = [dict() for _ in range(n)]    # page -> (write, stamp)
+        self._pushed = [dict() for _ in range(n)]  # page -> stamp
+        self._lock_held = [set() for _ in range(n)]
+        self._agent_signals = [Signal(system.sim, "%s.lease(%d)" % (name, i))
+                               for i in range(n)]
+        self._grant_stamp = {}                     # home: page -> last stamp
+        # Home-crash recovery state (arm_recovery): active rebuild record
+        # per home, the per-node replay nudge REBUILD_DONE bumps, the
+        # per-node lease agents, and the armed configuration (None = the
+        # detector is off and every code path below is bit-identical to
+        # the pre-recovery protocol).
+        self._rebuild = [None] * n
+        self._rebuild_epoch = 0
+        self._replay_gen = [0] * n
+        self._agents = [None] * n
+        self._recovery = None
 
         # Metrics: registered eagerly so every shard's registry is
         # identical regardless of which nodes it simulates.
@@ -266,6 +318,87 @@ class DsmRuntime:
             raise DsmError("page %d already has a sync object" % page)
         self._sync[page] = obj
 
+    def arm_recovery(self, seed=1, lease_ns=1_200_000, renew_ns=250_000,
+                     backoff_cap_ns=1_600_000, lock_lease_ns=None):
+        """Arm the lease/heartbeat failure detector and directory rebuild.
+
+        Off by default: an unarmed runtime is bit-identical to the
+        pre-recovery protocol (no extra processes, events or metric
+        names).  Armed, three things change:
+
+        - a blocked faulter whose lease (``lease_ns`` plus a per-node
+          seeded jitter) expires parks and replays its request with
+          exponential backoff, and replays immediately when the home's
+          ``REBUILD_DONE`` arrives;
+        - a restored home rebuilds its pages' directories from surviving
+          claims (``node_restored``) instead of trusting the rolled-back
+          DRAM image;
+        - every node runs a lease agent renewing its lock tenures every
+          ``renew_ns``, and a :class:`~repro.dsm.sync.DsmLock` home
+          revokes a holder whose lease (``lock_lease_ns``, default
+          ``lease_ns``) lapsed.
+
+        Call before :meth:`start`; arming mid-run would change process
+        creation order and break shard determinism.
+        """
+        if self._recovery is not None:
+            raise DsmError("recovery already armed")
+        if self._service[0] is not None:
+            raise DsmError("arm_recovery must be called before start()")
+        # Local import: repro.faults is a consumer of repro.dsm in the
+        # crash orchestration; only the seeded-stream primitive flows
+        # the other way.
+        from repro.faults.plan import SeededStream
+        jitter = []
+        for node_id in range(len(self.system.nodes)):
+            stream = SeededStream(seed * 1_000_003 + node_id)
+            jitter.append(stream.between(0, 4 * self.poll_ns))
+        self._recovery = {
+            "seed": seed,
+            "lease_ns": lease_ns,
+            "renew_ns": renew_ns,
+            "backoff_cap_ns": backoff_cap_ns,
+            "lock_lease_ns": lease_ns if lock_lease_ns is None
+            else lock_lease_ns,
+            "jitter": jitter,
+        }
+        # Registered lazily (like the faults.* counters) so fault-free,
+        # unarmed runs keep a pristine metric registry.
+        hub = self.instr
+        self.lease_expirations = hub.counter("dsm.lease_expirations")
+        self.rebuilds = hub.counter("dsm.rebuilds")
+        self.lock_revokes = hub.counter("dsm.lock_revokes")
+        self.replays = hub.counter("dsm.replays")
+        return self
+
+    def lock_tenure(self, node_id, page, held):
+        """Track a lock tenure (called by DsmLock): tenures drive the
+        lease agent's heartbeats and the CLAIM_LOCK answer a rebuilding
+        home collects."""
+        if held:
+            self._lock_held[node_id].add(page)
+            self._agent_signals[node_id].fire()
+        else:
+            self._lock_held[node_id].discard(page)
+
+    def _agent_body(self, node_id):
+        """The per-node lease agent: renew this node's lock tenures.
+
+        Parks on the tenure signal while the node holds nothing, so an
+        idle machine's event queue still drains (the agent must not keep
+        the simulation alive by itself)."""
+        cfg = self._recovery
+        period = cfg["renew_ns"] + cfg["jitter"][node_id]
+        signal = self._agent_signals[node_id]
+        while True:
+            if not self._lock_held[node_id]:
+                yield Wait(signal)
+                continue
+            yield Timeout(period)
+            for page in sorted(self._lock_held[node_id]):
+                self._send(node_id, self.layout.home_of(page), LOCK_RENEW,
+                           page, 0)
+
     def start(self):
         """Start channels, per-node services and registered apps."""
         for key in sorted(self._channels):
@@ -276,6 +409,11 @@ class DsmRuntime:
                 sim, self._service_body(node_id),
                 "%s.svc(%d)" % (self.name, node_id),
             ).start()
+            if self._recovery is not None:
+                self._agents[node_id] = Process(
+                    sim, self._agent_body(node_id),
+                    "%s.lease(%d)" % (self.name, node_id),
+                ).start()
             for entry in self._apps[node_id]:
                 entry[1] = Process(
                     sim, entry[0](), "%s.app(%d)" % (self.name, node_id)
@@ -288,6 +426,8 @@ class DsmRuntime:
         for node_id in range(len(self.system.nodes)):
             if self._service[node_id] is not None:
                 procs.append((node_id, self._service[node_id]))
+            if self._agents[node_id] is not None:
+                procs.append((node_id, self._agents[node_id]))
             for entry in self._apps[node_id]:
                 if entry[1] is not None:
                     procs.append((node_id, entry[1]))
@@ -324,6 +464,15 @@ class DsmRuntime:
         self._token_seq[node_id] += 1
         return self._token_seq[node_id]
 
+    def _next_stamp(self, page):
+        """The home-issued per-page grant stamp.  Volatile (a home crash
+        drops it), monotone within a directory's lifetime, re-floored at
+        rebuild resolution from the maximum surviving claim -- so a
+        claim's stamp totally orders grant generations per page."""
+        stamp = self._grant_stamp.get(page, 0) + 1
+        self._grant_stamp[page] = stamp
+        return stamp
+
     # -- the per-node service --------------------------------------------------
 
     def _service_body(self, node_id):
@@ -338,6 +487,9 @@ class DsmRuntime:
 
     def _dispatch(self, node_id, message):
         kind, page, src, arg = message
+        if (self._rebuild[node_id] is not None
+                and self._rebuild_intercept(node_id, kind, page, src, arg)):
+            return
         if kind in (READ_REQ, WRITE_REQ):
             yield from self._home_request(node_id, kind, page, src, arg)
         elif kind == RECALL_ACK:
@@ -352,6 +504,18 @@ class DsmRuntime:
             yield from self._recalled(node_id, page, kind == RECALL_WRITE)
         elif kind == INVAL_REQ:
             self._invalidated(node_id, page, src)
+        elif kind == RECOVER_REQ:
+            self._recover_claims(node_id, src, arg)
+        elif kind in (RECOVER_CLAIM, RECOVER_DONE, RECOVER_PULL_ACK):
+            # Outside an active rebuild (the intercept above) these are
+            # stale redeliveries from an already-resolved epoch: drop.
+            pass
+        elif kind == RECOVER_PULL:
+            yield from self._recover_pull(node_id, page, src)
+        elif kind == REBUILD_DONE:
+            # The home finished its rebuild: nudge parked faulters to
+            # replay (their ghosted pre-crash requests were dropped).
+            self._replay_gen[node_id] += 1
         elif kind in _SYNC_KINDS:
             obj = self._sync.get(page)
             if obj is None:
@@ -408,6 +572,9 @@ class DsmRuntime:
             directory.set_owner(page, None)
             directory.add_reader(page, node_id)
             self._pstates[node_id].set(page, READ)
+            held = self._held[node_id].get(page)
+            if held is not None:
+                self._held[node_id][page] = (False, held[1])
             owner = None
         if owner is not None and owner != src:
             txn["stage"] = "recall"
@@ -470,8 +637,10 @@ class DsmRuntime:
         directory = self._dirs[node_id]
         directory.add_reader(page, txn["req"])
         directory.set_last_grant(page, txn["req"], False, txn["token"])
+        stamp = self._next_stamp(page)
         yield from self._push_page(node_id, txn["req"], page)
-        self._send(node_id, txn["req"], READ_OK, page, txn["token"])
+        self._send(node_id, txn["req"], READ_OK, page,
+                   (stamp << _STAMP_SHIFT) | (txn["token"] & _TOKEN_MASK))
         yield from self._finish(node_id, page)
 
     def _grant_write(self, node_id, page, txn):
@@ -479,8 +648,10 @@ class DsmRuntime:
         directory.clear_readers(page)
         directory.set_owner(page, txn["req"])
         directory.set_last_grant(page, txn["req"], True, txn["token"])
+        stamp = self._next_stamp(page)
         yield from self._push_page(node_id, txn["req"], page)
-        self._send(node_id, txn["req"], WRITE_OK, page, txn["token"])
+        self._send(node_id, txn["req"], WRITE_OK, page,
+                   (stamp << _STAMP_SHIFT) | (txn["token"] & _TOKEN_MASK))
         yield from self._finish(node_id, page)
 
     def _finish(self, node_id, page):
@@ -510,16 +681,18 @@ class DsmRuntime:
             )
         self.faults.bump()
         home = self.layout.home_of(page)
+        token = self._next_token(node_id)
         if self.instr.active:
-            # home/frame let external observers (the happens-before
+            # home/frame/token let external observers (the happens-before
             # sanitizer, repro.lint.sanitize) correlate this fault with
-            # the NIC deposits and the grant that resolve it.
+            # the NIC deposits and the grant(s) that resolve it -- a
+            # home-side demotion can re-grant the same token, so the
+            # token is what ties a grant to its fault instance.
             self.instr.emit("dsm", "dsm.fault", node=node_id, page=page,
                             write=write, home=home,
-                            frame=self.layout.frame_page(page))
+                            frame=self.layout.frame_page(page), token=token)
         sim = self.system.sim
         started = sim.now
-        token = self._next_token(node_id)
         self._pending[node_id][page] = token
         pstates.set(page, FETCHING)
         node = self.system.nodes[node_id]
@@ -528,19 +701,81 @@ class DsmRuntime:
         self._send(node_id, home, kind, page, token)
         last_send = sim.now
         try:
-            while pstates.get(page) < want:
-                yield Timeout(self.poll_ns)
-                if (pstates.get(page) < want
-                        and sim.now - last_send >= self.retry_ns):
-                    self._send(node_id, home, kind, page, token)
-                    last_send = sim.now
+            if self._recovery is None:
+                while pstates.get(page) < want:
+                    yield Timeout(self.poll_ns)
+                    if (pstates.get(page) < want
+                            and sim.now - last_send >= self.retry_ns):
+                        self._send(node_id, home, kind, page, token)
+                        last_send = sim.now
+            else:
+                yield from self._fault_armed(node_id, page, home, kind,
+                                             token, want, started)
         finally:
             self._pending[node_id].pop(page, None)
         (self.upgrade_ns if write else self.fetch_ns).observe(
             sim.now - started)
 
-    def _take_grant(self, node_id, page, token, write):
-        if self._pending[node_id].get(page) != token:
+    def _fault_armed(self, node_id, page, home, kind, token, want, started):
+        """The fault wait loop with the lease failure detector armed.
+
+        Until the lease (lease_ns + this node's seeded jitter) expires
+        the loop is the plain retry loop.  On expiry the faulter *parks*:
+        it keeps re-sending the same request instance (same token --
+        redelivered grants stay acceptable) with exponential backoff on
+        the sim clock, and replays immediately when the home's
+        REBUILD_DONE bumps this node's replay generation.
+        """
+        sim = self.system.sim
+        pstates = self._pstates[node_id]
+        cfg = self._recovery
+        write = kind == WRITE_REQ
+        lease = cfg["lease_ns"] + cfg["jitter"][node_id]
+        deadline = started + lease
+        interval = self.retry_ns
+        gen = self._replay_gen[node_id]
+        parked = False
+        last_send = started
+        while pstates.get(page) < want:
+            yield Timeout(self.poll_ns)
+            if pstates.get(page) >= want:
+                return
+            if self._replay_gen[node_id] != gen:
+                gen = self._replay_gen[node_id]
+                self._send(node_id, home, kind, page, token)
+                last_send = sim.now
+                self.replays.bump()
+                if self.instr.active:
+                    self.instr.emit("dsm", "dsm.replay", node=node_id,
+                                    page=page, write=write)
+                parked = False
+                interval = self.retry_ns
+                deadline = sim.now + lease
+                continue
+            if not parked and sim.now >= deadline:
+                parked = True
+                self.lease_expirations.bump()
+                if self.instr.active:
+                    self.instr.emit("dsm", "dsm.lease_expired", node=node_id,
+                                    page=page, home=home, write=write)
+                interval = 2 * self.retry_ns
+                last_send = sim.now
+                continue
+            if sim.now - last_send >= interval:
+                self._send(node_id, home, kind, page, token)
+                last_send = sim.now
+                if parked:
+                    self.replays.bump()
+                    if self.instr.active:
+                        self.instr.emit("dsm", "dsm.replay", node=node_id,
+                                        page=page, write=write)
+                    interval = min(2 * interval, cfg["backoff_cap_ns"])
+
+    def _take_grant(self, node_id, page, arg, write):
+        token = arg & _TOKEN_MASK
+        stamp = arg >> _STAMP_SHIFT
+        pending = self._pending[node_id].get(page)
+        if pending is None or (pending & _TOKEN_MASK) != token:
             return  # stale grant (old token, or post-crash replay)
         # No page-state check beyond the token: when the requester is
         # the home node, a deferred request processed right after the
@@ -551,11 +786,13 @@ class DsmRuntime:
         # so a matching token always means the frame bytes are current.
         pstates = self._pstates[node_id]
         pstates.set(page, WRITE if write else READ)
+        self._held[node_id][page] = (write, stamp)
+        self._pushed[node_id].pop(page, None)
         node = self.system.nodes[node_id]
         node.nic.nipt.set_dsm_resident(self.layout.frame_page(page), True)
         if self.instr.active:
             self.instr.emit("dsm", "dsm.grant", node=node_id, page=page,
-                            write=write)
+                            write=write, token=token)
 
     def _recalled(self, node_id, page, write):
         pstates = self._pstates[node_id]
@@ -563,14 +800,22 @@ class DsmRuntime:
         node = self.system.nodes[node_id]
         if pstates.get(page) == WRITE:
             yield from self._push_page(node_id, home, page)
+            held = self._held[node_id].pop(page, None)
             if write:
                 pstates.set(page, INVALID)
+                if held is not None:
+                    # The rightless frame still holds this generation's
+                    # final bytes -- the pushed-copy claim a rebuilding
+                    # home can pull when its own frame rolled back.
+                    self._pushed[node_id][page] = held[1]
                 node.nic.nipt.set_dsm_resident(
                     self.layout.frame_page(page), False)
                 if home != node_id:
                     node.nic.nipt.unmap_in(self.layout.frame_page(page))
             else:
                 pstates.set(page, READ)
+                if held is not None:
+                    self._held[node_id][page] = (False, held[1])
         # Any other state: rights already lost (crash rollback or a
         # duplicate recall) -- ack without data; the home's frame stands.
         self._send(node_id, home, RECALL_ACK, page, 0)
@@ -580,6 +825,9 @@ class DsmRuntime:
         state = pstates.get(page)
         if state in (READ, WRITE):
             pstates.set(page, INVALID)
+            held = self._held[node_id].pop(page, None)
+            if held is not None:
+                self._pushed[node_id][page] = held[1]
             node = self.system.nodes[node_id]
             node.nic.nipt.set_dsm_resident(self.layout.frame_page(page),
                                            False)
@@ -591,6 +839,253 @@ class DsmRuntime:
         # FETCHING keeps its map-in: the grant deposit in flight must
         # still land (the stale grant itself dies on its token).
         self._send(node_id, src, INVAL_ACK, page, 0)
+
+    # -- home-crash recovery: the directory rebuild protocol -------------------
+    #
+    # A crash at a home rolls its DRAM (directory, frames) back to the
+    # checkpoint, but the *rights* it granted since live on at the
+    # peers.  The restored home therefore treats the surviving page
+    # states as authoritative: it broadcasts RECOVER_REQ in sorted node
+    # order, each peer answers one RECOVER_CLAIM per surviving right
+    # (or per rightless frame still holding a pushed generation's
+    # bytes) and fences with RECOVER_DONE, and the home resolves
+    # conflicts by grant-stamp order -- the per-page total order the
+    # grant arg carries.  The key channel fact making claims
+    # authoritative: a ReliableChannel's outbox survives a crash of
+    # either end, so every pre-crash grant is redelivered to its
+    # requester *before* the post-restore RECOVER_REQ on the same
+    # home->peer channel, and every ghost replay from a peer precedes
+    # that peer's RECOVER_DONE on the peer->home channel.
+
+    def _peers_of(self, node_id):
+        return sorted(dst for (src, dst) in self._channels if src == node_id)
+
+    def _start_rebuild(self, node_id):
+        """Begin rebuilding the directories of every page homed here."""
+        self._rebuild_epoch += 1
+        epoch = self._rebuild_epoch
+        peers = self._peers_of(node_id)
+        self._rebuild[node_id] = {
+            "epoch": epoch,
+            "pending": set(peers),
+            "claims": {},      # (page, src) -> (code, stamp)
+            "deferred": [],    # messages replayed after completion
+            "walks": {},       # page -> nodes still owing INVAL_ACK
+            "pulls": {},       # page -> node owing RECOVER_PULL_ACK
+            "resolved": False,
+        }
+        self.rebuilds.bump()
+        if self.instr.active:
+            self.instr.emit("dsm", "dsm.rebuild_start", node=node_id,
+                            epoch=epoch, peers=list(peers))
+        # Claim collection queries peers in sorted node order (the same
+        # determinism rule as the section 4.4 walk; simlint SL904).
+        for peer in sorted(peers):
+            self._send(node_id, peer, RECOVER_REQ, 0, epoch)
+        if not peers:
+            self._resolve_rebuild(node_id)
+            self._maybe_complete_rebuild(node_id)
+
+    def _recover_claims(self, node_id, home, epoch):
+        """Peer side: answer a restored home's RECOVER_REQ.
+
+        One claim per page homed at ``home`` that this node either holds
+        rights to (page state is DRAM truth; the stamp comes from the
+        volatile grant record when it survived), holds lock tenure on,
+        or holds a rightless frame whose bytes match a pushed grant
+        generation.  Ends with a RECOVER_DONE fence carrying the epoch.
+        """
+        pstates = self._pstates[node_id]
+        for page in range(self.layout.npages):
+            if self.layout.home_of(page) != home:
+                continue
+            if page in self._sync:
+                if page in self._lock_held[node_id]:
+                    self._send(node_id, home, RECOVER_CLAIM, page,
+                               CLAIM_LOCK)
+                continue
+            state = pstates.get(page)
+            held = self._held[node_id].get(page)
+            stamp = held[1] if held is not None else 0
+            if state == WRITE:
+                code = CLAIM_WRITE
+            elif state == READ:
+                code = CLAIM_READ
+            elif page in self._pushed[node_id]:
+                code = CLAIM_PUSHED
+                stamp = self._pushed[node_id][page]
+            else:
+                continue  # no right, no bytes -- nothing to claim
+            self._send(node_id, home, RECOVER_CLAIM, page,
+                       (stamp << _CLAIM_CODE_BITS) | code)
+        self._send(node_id, home, RECOVER_DONE, 0, epoch)
+
+    def _recover_pull(self, node_id, page, home):
+        """Peer side: refresh the rebuilding home's memory copy."""
+        yield from self._push_page(node_id, home, page)
+        self._send(node_id, home, RECOVER_PULL_ACK, page, 0)
+
+    def _rebuild_intercept(self, node_id, kind, page, src, arg):
+        """Message policy while this node's rebuild is active.  Returns
+        True when the message was consumed, deferred or dropped."""
+        rebuild = self._rebuild[node_id]
+        if kind in (READ_REQ, WRITE_REQ):
+            if src in rebuild["pending"]:
+                # A ghost: channel replay of a pre-crash request from a
+                # peer that has not fenced yet.  Its surviving claim
+                # supersedes it; the faulter replays on REBUILD_DONE.
+                return True
+            rebuild["deferred"].append((kind, page, src, arg))
+            return True
+        if kind == RECOVER_CLAIM:
+            code_mask = (1 << _CLAIM_CODE_BITS) - 1
+            rebuild["claims"][(page, src)] = (arg & code_mask,
+                                              arg >> _CLAIM_CODE_BITS)
+            return True
+        if kind == RECOVER_DONE:
+            if arg != rebuild["epoch"]:
+                # A prior epoch's batch (the home crashed again before
+                # resolving): everything from src so far was stale, and
+                # channel FIFO order fences it exactly here.
+                for key in [k for k in rebuild["claims"] if k[1] == src]:
+                    del rebuild["claims"][key]
+                return True
+            rebuild["pending"].discard(src)
+            if not rebuild["pending"]:
+                self._resolve_rebuild(node_id)
+                self._maybe_complete_rebuild(node_id)
+            return True
+        if kind == RECOVER_PULL_ACK:
+            if rebuild["pulls"].pop(page, None) is not None:
+                self._maybe_complete_rebuild(node_id)
+            return True
+        if kind == INVAL_ACK and page in rebuild["walks"]:
+            walk = rebuild["walks"][page]
+            if src in walk:
+                walk.discard(src)
+                self._dirs[node_id].discard_reader(page, src)
+                if not walk:
+                    del rebuild["walks"][page]
+                self._maybe_complete_rebuild(node_id)
+                return True
+            return False
+        if kind in _SYNC_KINDS:
+            obj = self._sync.get(page)
+            if obj is not None and getattr(obj, "defer_during_rebuild",
+                                           False):
+                # Lock traffic waits for the lock's own rebuild; barrier
+                # folding is monotonic/idempotent and flows through.
+                rebuild["deferred"].append((kind, page, src, arg))
+                return True
+            return False
+        # Everything else runs its normal idempotent handler: stale acks
+        # die on "no transaction", stale grants on their token.
+        return False
+
+    def _resolve_rebuild(self, node_id):
+        """All peers fenced: resolve claims page by page.
+
+        Winner = the live claim with the highest grant stamp (ties by
+        node id; the home's own rolled-back page state enters as a
+        stamp-0 claim, so any real surviving grant beats it).  A WRITE
+        winner is re-seated as owner and every other live copy walked
+        with the section 4.4 INVAL pass; READ claimants are re-seated
+        together as readers.  The freshest surviving copy (including
+        rightless pushed frames) refreshes the home's memory copy via
+        RECOVER_PULL unless a WRITE winner holds fresher bytes anyway.
+        """
+        rebuild = self._rebuild[node_id]
+        rebuild["resolved"] = True
+        directory = self._dirs[node_id]
+        pstates = self._pstates[node_id]
+        claims = rebuild["claims"]
+        for page in range(self.layout.npages):
+            if self.layout.home_of(page) != node_id:
+                continue
+            if page in self._sync:
+                obj = self._sync[page]
+                if getattr(obj, "defer_during_rebuild", False):
+                    holders = sorted(
+                        src for (p, src), (code, stamp) in claims.items()
+                        if p == page and code == CLAIM_LOCK)
+                    obj.rebuild(holders)
+                continue
+            entries = [(stamp, src, code)
+                       for (p, src), (code, stamp) in claims.items()
+                       if p == page]
+            if entries:
+                # Re-floor the grant stamp above every surviving claim.
+                top = max(stamp for stamp, _, _ in entries)
+                self._grant_stamp[page] = max(
+                    self._grant_stamp.get(page, 0), top)
+            live = [(stamp, src, code) for stamp, src, code in entries
+                    if code in (CLAIM_READ, CLAIM_WRITE)]
+            state = pstates.get(page)
+            if state == WRITE:
+                live.append((0, node_id, CLAIM_WRITE))
+            elif state == READ:
+                live.append((0, node_id, CLAIM_READ))
+            elif state == FETCHING:
+                # The home's own pre-crash fault: its pending token died
+                # with the crash; the restarted app re-faults.
+                pstates.set(page, INVALID)
+            directory.clear_readers(page)
+            if not live:
+                directory.set_owner(page, None)
+                directory.clear_last_grant(page)
+            else:
+                stamp, winner, code = max(live)
+                if code == CLAIM_WRITE:
+                    directory.set_owner(page, winner)
+                    losers = sorted(src for _, src, _ in live
+                                    if src != winner)
+                    # Copies a mid-upgrade crash left behind: re-issue
+                    # the invalidation walk, sorted, acks collected by
+                    # the intercept.
+                    for loser in losers:
+                        directory.add_reader(page, loser)
+                    if losers:
+                        rebuild["walks"][page] = set(losers)
+                        for loser in losers:
+                            self._send(node_id, loser, INVAL_REQ, page, 0)
+                    directory.set_last_grant(page, winner, True, 0)
+                else:
+                    directory.set_owner(page, None)
+                    for _, src, _ in sorted(live, key=lambda e: e[1]):
+                        directory.add_reader(page, src)
+                    if state == WRITE:
+                        pstates.set(page, READ)  # demote with the readers
+                    directory.set_last_grant(page, winner, False, 0)
+                if code == CLAIM_WRITE:
+                    # The owner's copy is fresher than anything the home
+                    # could pull; the next conflicting request recalls it.
+                    continue
+            if entries:
+                best_stamp, best_src, _ = max(entries)
+                rebuild["pulls"][page] = best_src
+                self._send(node_id, best_src, RECOVER_PULL, page, 0)
+
+    def _maybe_complete_rebuild(self, node_id):
+        rebuild = self._rebuild[node_id]
+        if (rebuild is not None and rebuild["resolved"]
+                and not rebuild["walks"] and not rebuild["pulls"]):
+            self._complete_rebuild(node_id)
+
+    def _complete_rebuild(self, node_id):
+        """Directory rebuilt: replay deferred traffic, unpark faulters."""
+        rebuild = self._rebuild[node_id]
+        deferred = rebuild["deferred"]
+        if self.instr.active:
+            self.instr.emit("dsm", "dsm.rebuild_done", node=node_id,
+                            epoch=rebuild["epoch"], deferred=len(deferred))
+        self._rebuild[node_id] = None
+        # Deferred messages rejoin the inbox at the head, oldest first,
+        # ahead of anything that arrived since.
+        for message in reversed(deferred):
+            self._inboxes[node_id].appendleft(message)
+        self._signals[node_id].fire()
+        for peer in self._peers_of(node_id):
+            self._send(node_id, peer, REBUILD_DONE, 0, rebuild["epoch"])
 
     # -- the data path ---------------------------------------------------------
 
@@ -662,8 +1157,17 @@ class DsmRuntime:
 
     def killable(self, node_id):
         """True when the node's DSM processes hold no simulation resource
-        (bus, DMA mutex) -- the crash orchestration's safe-kill gate."""
-        return not self._busy[node_id]
+        (bus, DMA mutex) and its outgoing FIFO holds no half-pushed page
+        -- the crash orchestration's safe-kill gate.  The FIFO condition
+        matters for recovery: ``_push_page`` returns with up to half a
+        FIFO of page chunks still queued, and a crash clears FIFOs while
+        the grant behind them survives in the reliable channel's outbox.
+        Gating the kill on an empty FIFO keeps every redelivered grant's
+        data fully deposited, so a parked faulter can replay the same
+        request instance (same token) safely."""
+        return (not self._busy[node_id]
+                and self.system.nodes[node_id].nic.outgoing_fifo
+                .occupancy_bytes == 0)
 
     def node_crashed(self, node_id):
         """Drop the node's volatile DSM state with the node.
@@ -675,6 +1179,9 @@ class DsmRuntime:
         if self._service[node_id] is not None:
             self._service[node_id].kill()
             self._service[node_id] = None
+        if self._agents[node_id] is not None:
+            self._agents[node_id].kill()
+            self._agents[node_id] = None
         for entry in self._apps[node_id]:
             if entry[1] is not None:
                 entry[1].kill()
@@ -684,6 +1191,16 @@ class DsmRuntime:
         self._defer[node_id].clear()
         self._pending[node_id].clear()
         self._busy[node_id] = False
+        # Volatile claim-tracking dies with the node's driver state, and
+        # so do the grant stamps of the pages it homes (rebuild re-floors
+        # them from the surviving claims).
+        self._held[node_id].clear()
+        self._pushed[node_id].clear()
+        self._lock_held[node_id].clear()
+        self._rebuild[node_id] = None
+        for page in list(self._grant_stamp):
+            if self.layout.home_of(page) == node_id:
+                del self._grant_stamp[page]
 
     def node_restored(self, node_id):
         """Respawn the service and apps over the rolled-back DRAM state.
@@ -703,3 +1220,15 @@ class DsmRuntime:
             entry[1] = Process(
                 sim, entry[0](), "%s.app(%d)" % (self.name, node_id)
             ).start()
+        if self._recovery is not None:
+            self._agents[node_id] = Process(
+                sim, self._agent_body(node_id),
+                "%s.lease(%d)" % (self.name, node_id),
+            ).start()
+            # Sync objects re-seat the restored node (a barrier re-folds
+            # its subtree; a lock home restarts its holder's lease).
+            for page in sorted(self._sync):
+                self._sync[page].node_restored(node_id)
+            # The rolled-back directories for this node's own pages are
+            # not trusted: rebuild them from the surviving claims.
+            self._start_rebuild(node_id)

@@ -234,3 +234,11 @@ class Directory:
         base = self._grant_addr(page)
         self.memory.write_word(base, ((node_id + 1) << 1) | int(write))
         self.memory.write_word(base + WORD_SIZE, token)
+
+    def clear_last_grant(self, page):
+        """Erase the record: after a directory rebuild finds no claimant
+        for a page, no request instance can be a duplicate of a grant
+        that no longer has a holder."""
+        base = self._grant_addr(page)
+        self.memory.write_word(base, 0)
+        self.memory.write_word(base + WORD_SIZE, 0)

@@ -27,9 +27,14 @@ releases are absorbed, and a re-arrival that reaches an already
 released ancestor is answered with a direct re-release back down the
 stalled branch.
 
-A lock held across a crash of the holder stays held (there is no lease
-timeout) -- crash scenarios should synchronise with barriers, which
-recover; see docs/dsm.md.
+A lock held across a crash of the holder stays held on an *unarmed*
+runtime (there is no lease timeout).  With :meth:`~repro.dsm.runtime.
+DsmRuntime.arm_recovery` the lock is leased: the holder's node
+heartbeats ``LOCK_RENEW`` and the home lazily revokes a holder whose
+lease lapsed when the next acquire arrives, so a holder crash no longer
+wedges the lock -- which obliges critical sections to be idempotent
+(a revoked-then-restored holder's replay may re-run them); see
+docs/dsm.md.
 """
 
 from repro.dsm.runtime import (
@@ -38,6 +43,7 @@ from repro.dsm.runtime import (
     LOCK_ACQ,
     LOCK_GRANT,
     LOCK_REL,
+    LOCK_RENEW,
 )
 from repro.dsm.state import DsmError
 from repro.memsys.address import WORD_SIZE
@@ -181,6 +187,43 @@ class DsmBarrier:
         if memory.read_word(self._seen_addr()) < epoch:
             memory.write_word(self._seen_addr(), epoch)
 
+    # -- crash recovery --------------------------------------------------------
+
+    #: Barrier folding is monotonic and idempotent, so its traffic flows
+    #: straight through a home's directory rebuild window.
+    defer_during_rebuild = False
+
+    def node_restored(self, node_id):
+        """Re-seat a restored participant's subtree (armed runtimes).
+
+        The rollback may have eaten a release this node already
+        propagated (descendants would stall waiting for it) or a subtree
+        aggregate it already forwarded (the root would stall waiting for
+        that).  Both folds are monotonic, so re-flooding the rolled-back
+        release down and re-forwarding the rolled-back aggregate up is
+        idempotent -- at worst a duplicate wave the epoch guards absorb.
+        """
+        if node_id not in self._index:
+            return
+        memory = self._memory(node_id)
+        released = memory.read_word(self._released_addr())
+        self._mark_seen(node_id, released)
+        for child in self._children(node_id):
+            self.runtime._send(node_id, child, BARRIER_RELEASE, self.page,
+                               released)
+        reached = min(
+            [memory.read_word(self._own_addr())]
+            + [memory.read_word(self._base + (2 + c) * WORD_SIZE)
+               for c in range(len(self._children(node_id)))]
+        )
+        if reached > released:
+            parent = self._parent(node_id)
+            if parent is None:
+                self._release(node_id, reached)
+            else:
+                self.runtime._send(node_id, parent, BARRIER_ARRIVE,
+                                   self.page, reached)
+
     # -- participant side ------------------------------------------------------
 
     def wait(self, node_id, epoch):
@@ -214,6 +257,10 @@ class DsmLock:
     its scratch word ``scratch_index``.
     """
 
+    #: Lock traffic is held back while the home rebuilds: arbitration
+    #: must wait for :meth:`rebuild` to re-seat the tenure from claims.
+    defer_during_rebuild = True
+
     def __init__(self, runtime, page, scratch_index=1):
         self.runtime = runtime
         self.layout = runtime.layout
@@ -221,6 +268,10 @@ class DsmLock:
         self.home = runtime.layout.home_of(page)
         self.scratch_index = scratch_index
         self._base = runtime.layout.frame_addr(page)
+        # Volatile, home-side: sim time of the holder's last lease sign
+        # of life (grant or LOCK_RENEW heartbeat).  Only consulted on an
+        # armed runtime.
+        self._last_renew = None
         runtime.attach_sync(page, self)
 
     def _home_mem(self):
@@ -234,24 +285,62 @@ class DsmLock:
             self._acquire_msg(src)
         elif kind == LOCK_REL:
             self._release_msg(src)
+        elif kind == LOCK_RENEW:
+            if self._home_mem().read_word(self._base) == src + 1:
+                self._last_renew = self.runtime.system.sim.now
+            # A renewal from a revoked (no longer holding) node is stale
+            # noise: ignore it; the sender drops its tenure on release.
         elif kind == LOCK_GRANT:
             memory = self.runtime.system.nodes[node_id].memory
             memory.write_word(self._flag_addr(), 1)
+            # Tenure tracking drives the lease agent's heartbeats and the
+            # CLAIM_LOCK answer during a home rebuild.
+            self.runtime.lock_tenure(node_id, self.page, True)
         else:
             raise DsmError("lock got message kind %r" % (kind,))
+
+    def _grant(self, src):
+        self._last_renew = self.runtime.system.sim.now
+        self.runtime._send(self.home, src, LOCK_GRANT, self.page, 0)
 
     def _acquire_msg(self, src):
         memory = self._home_mem()
         holder = memory.read_word(self._base)
+        if holder != 0 and holder != src + 1 and self._lease_lapsed():
+            # Holder-crash breaking (armed runtimes): the holder stopped
+            # heartbeating for a full lock lease -- revoke its tenure and
+            # arbitrate as if it released.  Lazy: checked only when
+            # someone wants the lock, so an idle dead holder costs nothing.
+            runtime = self.runtime
+            runtime.lock_revokes.bump()
+            if runtime.instr.active:
+                runtime.instr.emit("dsm", "dsm.lock_revoke", page=self.page,
+                                   holder=holder - 1, by=src)
+            memory.write_word(self._base, 0)
+            holder = 0
         if holder == 0:
+            # A revocation can free the lock while waiters are bitmapped
+            # (unreachable unarmed): a granted requester must not linger
+            # in the bitmap or the next release would re-grant it stale.
+            waiting = memory.read_word(self._base + WORD_SIZE)
+            if waiting & (1 << src):
+                memory.write_word(self._base + WORD_SIZE,
+                                  waiting & ~(1 << src))
             memory.write_word(self._base, src + 1)
-            self.runtime._send(self.home, src, LOCK_GRANT, self.page, 0)
+            self._grant(src)
         elif holder == src + 1:
             # Retry from the holder (a lost grant): re-grant.
-            self.runtime._send(self.home, src, LOCK_GRANT, self.page, 0)
+            self._grant(src)
         else:
             waiting = memory.read_word(self._base + WORD_SIZE)
             memory.write_word(self._base + WORD_SIZE, waiting | (1 << src))
+
+    def _lease_lapsed(self):
+        cfg = self.runtime._recovery
+        if cfg is None or self._last_renew is None:
+            return False
+        return (self.runtime.system.sim.now - self._last_renew
+                > cfg["lock_lease_ns"])
 
     def _release_msg(self, src):
         memory = self._home_mem()
@@ -264,7 +353,30 @@ class DsmLock:
         nxt = (waiting & -waiting).bit_length() - 1  # lowest waiting id
         memory.write_word(self._base + WORD_SIZE, waiting & ~(1 << nxt))
         memory.write_word(self._base, nxt + 1)
-        self.runtime._send(self.home, nxt, LOCK_GRANT, self.page, 0)
+        self._grant(nxt)
+
+    # -- crash recovery --------------------------------------------------------
+
+    def rebuild(self, claimants):
+        """Re-seat the lock from surviving CLAIM_LOCK claims (called by
+        the home's directory rebuild; lock traffic was deferred).
+
+        At most one claimant can exist -- mutual exclusion held before
+        the crash.  The rolled-back waiting bitmap is zeroed rather than
+        trusted: a stale bit would hand the lock to a node that is not
+        waiting, wedging it for a full lease; real waiters re-ACQ within
+        their retry interval.
+        """
+        memory = self._home_mem()
+        memory.write_word(self._base, claimants[0] + 1 if claimants else 0)
+        memory.write_word(self._base + WORD_SIZE, 0)
+        self._last_renew = self.runtime.system.sim.now
+
+    def node_restored(self, node_id):
+        if node_id == self.home:
+            # Fresh lease epoch: do not hold the pre-crash silence
+            # against the holder.
+            self._last_renew = self.runtime.system.sim.now
 
     def acquire(self, node_id):
         """Generator: block until this node holds the lock."""
@@ -286,4 +398,5 @@ class DsmLock:
         the home serialises the handoff)."""
         memory = self.runtime.system.nodes[node_id].memory
         memory.write_word(self._flag_addr(), 0)
+        self.runtime.lock_tenure(node_id, self.page, False)
         self.runtime._send(node_id, self.home, LOCK_REL, self.page, 0)

@@ -12,6 +12,14 @@ Node crashes need recovery orchestration (what to do with the corpse is
 the scenario's business), so :class:`FaultController` delegates them to
 ``crash_handler(node_id)`` -- by default
 :func:`repro.faults.recovery.crash_node` run as a fresh process.
+
+``crash_coupling`` declares, per crashable node, every node whose
+Python-level runtime state the crash/restore orchestration mutates (a
+DSM crash resets sender windows of every channel into the victim and
+rebuilds directories from every participant's claims).  Single runs
+ignore it; a sharded run uses it to decide whether a plan's
+``node_crash`` is expressible -- the victim *and* its whole coupled set
+must live in one shard (see ``repro.machine.sharding``).
 """
 
 from repro.sim.instrument import Instrumentation
@@ -24,10 +32,11 @@ class FaultError(Exception):
 class FaultController:
     """Owns the live fault state a plan creates on one system."""
 
-    def __init__(self, system, plan, crash_handler=None):
+    def __init__(self, system, plan, crash_handler=None, crash_coupling=None):
         self.system = system
         self.plan = plan
         self.crash_handler = crash_handler
+        self.crash_coupling = crash_coupling
         self.injectors = []  # live injector windows, for introspection
         self.armed_events = []  # (plan event, ScheduledEvent) pairs from arm()
         self.instr = Instrumentation.of(system.sim)

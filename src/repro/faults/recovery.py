@@ -239,3 +239,53 @@ def spawn_recover(system, state, mappings=(), channels=(), delay=0):
         system.sim, recover_node(system, state, mappings, channels),
         "recover(%d)" % state["node_id"],
     ).start(delay)
+
+
+def crash_restore_cycle(system, node_id, crash_at, dwell_ns, mappings,
+                        channels=(), poll_ns=POLL_NS, outcome=None):
+    """Process body: the full in-sim crash/restore arc for one node.
+
+    Waits until ``crash_at``, polls the victim to a capturable boundary
+    (:func:`~repro.ckpt.safepoint.check_node_quiescent` is a pure
+    observer, so polling it from a process is legal), captures its
+    per-node checkpoint, crashes it through :func:`crash_node`'s
+    safe-kill gate, invalidates every inbound mapping, leaves the node
+    dead for ``dwell_ns``, then restores it.  The checkpoint predates
+    the crash by however long the safe-kill gate needed -- the work in
+    that window is exactly what rollback + replay (and, for a DSM home,
+    the directory rebuild) must recover.
+
+    ``mappings`` is the full mapping list to filter (for a DSM workload,
+    ``runtime.mappings``); ``channels`` as in :func:`crash_node` -- put
+    the :class:`~repro.dsm.runtime.DsmRuntime` itself last so channel
+    replay state is reset before its rebuild starts.  Returns
+    :func:`restore_node`'s dict, also merged into ``outcome`` when the
+    caller only keeps the process handle.
+    """
+    sim = system.sim
+    if sim.now < crash_at:
+        yield Timeout(crash_at - sim.now)
+    while check_node_quiescent(system, node_id) is not None:
+        yield Timeout(poll_ns)
+    state = NodeCheckpoint.capture(system, node_id)
+    yield from crash_node(system, node_id, channels=channels,
+                          poll_ns=poll_ns)
+    invalidated = invalidate_node_mappings(system, node_id, mappings)
+    if dwell_ns:
+        yield Timeout(dwell_ns)
+    result = yield from recover_node(system, state, mappings=invalidated,
+                                     channels=channels, poll_ns=poll_ns)
+    if outcome is not None:
+        outcome.update(result)
+    return result
+
+
+def spawn_crash_restore_cycle(system, node_id, crash_at, dwell_ns, mappings,
+                              channels=(), outcome=None):
+    """Run :func:`crash_restore_cycle` as its own process."""
+    return Process(
+        system.sim,
+        crash_restore_cycle(system, node_id, crash_at, dwell_ns, mappings,
+                            channels=channels, outcome=outcome),
+        "crash-cycle(%d)" % node_id,
+    ).start()

@@ -14,7 +14,11 @@ The directory protocol in :mod:`repro.dsm.runtime` rests on three
 - the grant send itself must be preceded by the page push on every
   path -- the deliberate-update deposit rides the same FIFO as the
   grant frame, and per-sender in-order delivery only helps if the data
-  was queued *first*.
+  was queued *first*;
+- the crash-recovery claim collection (``RECOVER_REQ`` broadcast) must
+  visit peers in sorted node order, so the rebuild's conflict
+  resolution sees claims in one deterministic arrival order on every
+  host and every shard layout.
 
 The rules key on the protocol's own vocabulary: a module that defines a
 top-level ``WRITE_OK`` constant is a protocol engine; ``_send(...)``
@@ -41,6 +45,7 @@ PUSH_CALL = "_push_page"
 DURABLE_CALL = "set_last_grant"
 WRITE_GRANT_CONSTANTS = {"WRITE_OK"}
 GRANT_CONSTANTS = {"WRITE_OK", "READ_OK"}
+RECOVER_CONSTANT = "RECOVER_REQ"
 _WALK_HINTS = {"waiting", "walk"}
 _WALK_CALLS = {"readers"}
 
@@ -313,6 +318,71 @@ class PushBeforeGrantRule(ProjectRule):
                             )
 
 
+def _carries_constant(call, constant):
+    """Does this ``_send`` call pass the named message constant?"""
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == constant:
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == constant:
+            return True
+    return False
+
+
+def _is_sorted_iter(expr):
+    return (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "sorted")
+
+
+class SortedRecoverBroadcastRule(ProjectRule):
+    """SL904: a RECOVER_REQ broadcast loop not iterating in sorted order.
+
+    The directory rebuild collects surviving peers' claims over per-pair
+    FIFO channels; the only ordering the protocol can rely on is the one
+    the broadcast loop itself establishes.  If the restored home walks
+    its peers in hash/dict/set order, the claim arrival order -- and
+    with it the rebuild's tie-breaking, walk scheduling, and the merged
+    shard fingerprint -- varies by host and by shard layout.  Every
+    ``for`` loop that sends ``RECOVER_REQ`` must therefore iterate a
+    ``sorted(...)`` expression directly.
+    """
+
+    code = "SL904"
+    title = "RECOVER_REQ broadcast loop must iterate in sorted order"
+
+    def check_project(self, graph):
+        for info in _protocol_modules(graph):
+            if not self.module_in_scope(info):
+                continue
+            if RECOVER_CONSTANT not in info.top_defs:
+                continue
+            yield from self._check_module(info)
+
+    def _check_module(self, info):
+        flagged = []
+
+        def visit(node, loops):
+            if isinstance(node, ast.For):
+                loops = loops + (node,)
+            elif (_call_attr(node) == GRANT_SEND
+                  and _carries_constant(node, RECOVER_CONSTANT)
+                  and loops and not _is_sorted_iter(loops[-1].iter)
+                  and loops[-1] not in flagged):
+                flagged.append(loops[-1])
+            for child in ast.iter_child_nodes(node):
+                visit(child, loops)
+
+        visit(info.parsed.tree, ())
+        for loop in flagged:
+            yield self.finding_at(
+                info, loop,
+                "this loop broadcasts RECOVER_REQ but does not iterate a "
+                "sorted(...) iterable: the rebuild claim collection must "
+                "visit peers in sorted node order so conflict resolution "
+                "is deterministic across hosts and shard layouts",
+            )
+
+
 def _classes_of(graph, info):
     for class_name in sorted(
         n for n, node in info.top_defs.items()
@@ -325,4 +395,5 @@ def _classes_of(graph, info):
             yield class_info
 
 
-RULES = (WriteGrantWalkRule(), DurableBeforePushRule(), PushBeforeGrantRule())
+RULES = (WriteGrantWalkRule(), DurableBeforePushRule(), PushBeforeGrantRule(),
+         SortedRecoverBroadcastRule())

@@ -7,8 +7,11 @@ scenario, subscribes a :class:`HappensBeforeSanitizer` to the
 instrumentation bus, runs the scenario to completion and exits non-zero
 if any ordering edge the DSM protocol promises was violated:
 
-- a ``dsm.grant`` must resolve an outstanding ``dsm.fault`` on the same
-  (node, page), and -- when the requester is not the page's home -- must
+- a ``dsm.grant`` must carry the token of the latest ``dsm.fault`` on
+  the same (node, page) -- the token ties a grant to its fault instance,
+  because a home-side demotion between grant and poll legitimately
+  re-grants the *same* token -- and, when the requester is not the
+  page's home, must
   be preceded by an unconsumed ``dsm.push`` toward that node *and* by a
   NIC deposit (``bus.write`` originated by the NIC datapath, not the
   CPU) into the node's frame for that page.  The deliberate-update
@@ -18,7 +21,15 @@ if any ordering edge the DSM protocol promises was violated:
   home (owner push-back / recall) or while the node has a fault
   outstanding (fetch data in flight);
 - a CPU store onto a DSM frame page (should the cache model ever issue
-  one) is only legitimate at the home or at the current write holder.
+  one) is only legitimate at the home or at the current write holder;
+- crash-recovery rebuild windows (``dsm.rebuild_start`` ..
+  ``dsm.rebuild_done``) must nest properly per node with strictly
+  increasing epochs, and a home mid-rebuild must not answer a fault
+  raised *after* the rebuild began -- fresh requests are deferred until
+  the directory is rebuilt.  (A grant accepted during the window is
+  still legal when its fault predates the rebuild: that is the
+  retransmitted pre-crash grant the channel delivers ahead of the
+  ``RECOVER_REQ`` on the same FIFO.)
 
 The checker is an ordinary event-bus subscriber: nothing is armed unless
 ``--sanitize`` is given, so the zero-cost-when-off property of the
@@ -33,6 +44,7 @@ from repro.memsys.address import page_number
 #: Event kinds the sanitizer subscribes to.
 _KINDS = (
     "dsm.fault", "dsm.grant", "dsm.push", "dsm.inval", "bus.write",
+    "dsm.rebuild_start", "dsm.rebuild_done",
 )
 
 
@@ -57,10 +69,13 @@ class HappensBeforeSanitizer:
         self._home = {}        # page -> home node id
         self._frame = {}       # page -> frame page number
         self._page_of_frame = {}
-        self._faulting = set()  # (node, page) with a fault outstanding
+        self._faulting = {}    # (node, page) outstanding -> fault time
+        self._fault_token = {}  # (node, page) -> (token, fault time)
         self._pushes = {}      # (dst, page) -> unconsumed push count
         self._deposits = {}    # (node, frame) -> deposit writes seen
         self._write_holder = {}  # page -> node holding write right
+        self._rebuilding = {}  # node -> open rebuild's start time
+        self._rebuild_epoch = {}  # node -> last rebuild epoch seen
         self._hub = hub
         hub.subscribe(self._on_event, kinds=_KINDS)
 
@@ -79,7 +94,9 @@ class HappensBeforeSanitizer:
         self._home[page] = fields["home"]
         self._frame[page] = fields["frame"]
         self._page_of_frame[fields["frame"]] = page
-        self._faulting.add((fields["node"], page))
+        self._faulting[(fields["node"], page)] = event.time
+        self._fault_token[(fields["node"], page)] = (
+            fields.get("token"), event.time)
 
     def _on_dsm_push(self, event):
         fields = event.fields
@@ -100,9 +117,25 @@ class HappensBeforeSanitizer:
         fields = event.fields
         node, page = fields["node"], fields["page"]
         self.checked_grants += 1
-        if (node, page) in self._faulting:
-            self._faulting.discard((node, page))
-        else:
+        self._faulting.pop((node, page), None)
+        entry = self._fault_token.get((node, page))
+        fault_time = None
+        if entry is not None and entry[0] == fields.get("token"):
+            fault_time = entry[1]
+        home = self._home.get(page)
+        if (
+            fault_time is not None
+            and home in self._rebuilding
+            and fault_time >= self._rebuilding[home]
+        ):
+            self._report(
+                event,
+                "dsm.grant for node %d page %d answers a fault raised "
+                "after page-home %d began its directory rebuild; fresh "
+                "requests must be deferred until dsm.rebuild_done"
+                % (node, page, home),
+            )
+        if fault_time is None:
             self._report(
                 event,
                 "dsm.grant for node %d page %d with no outstanding "
@@ -127,6 +160,42 @@ class HappensBeforeSanitizer:
                 )
         if fields.get("write"):
             self._write_holder[page] = node
+
+    def _on_dsm_rebuild_start(self, event):
+        fields = event.fields
+        node, epoch = fields["node"], fields["epoch"]
+        if node in self._rebuilding:
+            self._report(
+                event,
+                "dsm.rebuild_start for node %d (epoch %d) nests inside "
+                "its own open rebuild" % (node, epoch),
+            )
+        if epoch <= self._rebuild_epoch.get(node, 0):
+            self._report(
+                event,
+                "dsm.rebuild_start for node %d with non-increasing epoch "
+                "%d (last %d)" % (node, epoch,
+                                  self._rebuild_epoch.get(node, 0)),
+            )
+        self._rebuild_epoch[node] = epoch
+        self._rebuilding[node] = event.time
+
+    def _on_dsm_rebuild_done(self, event):
+        fields = event.fields
+        node, epoch = fields["node"], fields["epoch"]
+        if node not in self._rebuilding:
+            self._report(
+                event,
+                "dsm.rebuild_done for node %d (epoch %d) without an open "
+                "dsm.rebuild_start" % (node, epoch),
+            )
+        elif epoch != self._rebuild_epoch.get(node):
+            self._report(
+                event,
+                "dsm.rebuild_done for node %d closes epoch %d but epoch "
+                "%d is open" % (node, epoch, self._rebuild_epoch.get(node)),
+            )
+        self._rebuilding.pop(node, None)
 
     def _on_bus_write(self, event):
         node = _node_of(event.source)

@@ -25,6 +25,7 @@ links never cross a boundary -- only inter-router mesh links do.
 import hashlib
 import re
 
+from repro.faults.plan import FaultPlanError
 from repro.mesh.link import BoundaryRxLink, BoundaryTxLink, apply_boundary_op
 from repro.sim.shard import ShardError
 
@@ -130,14 +131,39 @@ class ShardWorld:
             if not self.owns_node(node_id):
                 process.deactivate()
 
-    def _fault_owner(self, event):
+    def _fault_owner(self, event, crash_coupling=None):
         kind = event.type_name
         backplane = self.system.backplane
         if kind == "node_crash":
-            raise ShardError(
-                "node_crash faults need recovery orchestration across the "
-                "whole machine and are not supported in sharded runs"
-            )
+            # A crash owned by one shard is legal: the crash/restore
+            # orchestration runs entirely in the victim's shard.  What
+            # sharding genuinely cannot express is a crash whose
+            # recovery mutates Python-level state (channel sender
+            # windows, DSM claim tracking) owned by *another* shard --
+            # the controller's crash_coupling declares that set.
+            owner = self.owner[event.node]
+            coupled = (None if crash_coupling is None
+                       else crash_coupling.get(event.node))
+            if coupled is None:
+                raise FaultPlanError(
+                    "node_crash(%d) in a %d-shard run without a "
+                    "crash_coupling declaration for node %d: pass "
+                    "FaultController(..., crash_coupling={node: coupled "
+                    "nodes}) naming every node whose runtime state the "
+                    "crash's recovery touches" % (event.node, self.shards,
+                                                  event.node)
+                )
+            crossing = sorted(n for n in coupled if self.owner[n] != owner)
+            if crossing:
+                raise FaultPlanError(
+                    "node_crash(%d) is coupled to nodes %r in other "
+                    "shards (victim's shard is %d): recovery would "
+                    "mutate state across a shard boundary, which a "
+                    "sharded run cannot express -- keep the crash's "
+                    "whole coupled set inside one shard"
+                    % (event.node, crossing, owner)
+                )
+            return owner
         if kind in ("link_down", "link_up"):
             return self.owner[_link_home(event.link, backplane)]
         if kind in ("router_stall", "router_resume"):
@@ -145,8 +171,9 @@ class ShardWorld:
         return self.owner[event.node]
 
     def _filter_faults(self, controller):
+        coupling = getattr(controller, "crash_coupling", None)
         for event, scheduled in controller.armed_events:
-            if self._fault_owner(event) != self.index:
+            if self._fault_owner(event, coupling) != self.index:
                 scheduled.cancel()
 
     # -- the shard-host interface (see repro.sim.shard) ------------------------

@@ -38,7 +38,7 @@ from repro.ckpt.scenarios import (
     build_ping_pong,
 )
 from repro.faults.controller import FaultController
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, NodeCrash
 from repro.faults.scenario import build_storm_with_channel
 from repro.machine.sharding import ShardWorld, boundary_link_map
 from repro.mesh.topology import MeshTopology
@@ -121,6 +121,46 @@ def _scenario_dsm(**kwargs):
     return workload.system, None, tuple(workload.node_processes())
 
 
+def _scenario_dsm_homecrash(width=4, height=4, iterations=2, seed=1,
+                            crash_at=400_000, dwell_ns=120_000):
+    """The DSM home-crash recovery scenario: the ``homecrash`` app over
+    an armed :meth:`~repro.dsm.runtime.DsmRuntime.arm_recovery` runtime,
+    with node 1 -- home of the contended data page *and* of the lock --
+    crashed mid-run and restored after ``dwell_ns``.
+
+    The whole DSM footprint lives on the mesh's first row, so the
+    ``crash_coupling`` declaring every node the recovery touches fits
+    inside shard 0 of a contiguous partition: the scenario is legal (and
+    bit-identical) sharded four ways on the default 4x4 mesh.
+    """
+    from repro.faults.recovery import crash_restore_cycle
+    from repro.sim.process import Process
+    from repro.workload.dsm_apps import DsmWorkload
+
+    workload = DsmWorkload(kind="homecrash", width=width, height=height,
+                           iterations=iterations, seed=seed).start()
+    system = workload.system
+    runtime = workload.runtime
+    victim = 1
+
+    def crash(node_id):
+        Process(
+            system.sim,
+            crash_restore_cycle(system, node_id, crash_at, dwell_ns,
+                                runtime.mappings,
+                                channels=runtime.channels() + [runtime]),
+            "crash-cycle(%d)" % node_id,
+        ).start()
+
+    controller = FaultController(
+        system,
+        FaultPlan([NodeCrash(crash_at, victim)]),
+        crash_handler=crash,
+        crash_coupling={victim: workload.active_nodes()},
+    ).arm()
+    return system, controller, tuple(workload.node_processes())
+
+
 class ScenarioSpec:
     """A named scenario: its builder plus enough static knowledge (the
     mesh topology as a function of the build kwargs) for the conductor to
@@ -148,6 +188,8 @@ SHARD_SCENARIOS = {
     "fault_storm": ScenarioSpec(_scenario_fault_storm, 4, 4),
     "workload": ScenarioSpec(_scenario_workload, 4, 4, dims_from_kwargs=True),
     "dsm": ScenarioSpec(_scenario_dsm, 4, 4, dims_from_kwargs=True),
+    "dsm_homecrash": ScenarioSpec(_scenario_dsm_homecrash, 4, 4,
+                                  dims_from_kwargs=True),
 }
 
 

@@ -16,6 +16,16 @@ Three app families the ROADMAP names, all built on fetch-on-fault pages:
   (:func:`repro.workload.traffic.build_schedule`): Poisson arrivals and
   Zipf keys mapped onto the shared space, gets and puts faulting pages
   in from their homes.
+- **homecrash** -- the crash-recovery stressor: the mesh's first row
+  contends for a *single* data page homed at node 1 (WRITE churn into
+  per-node slot words plus a :class:`~repro.dsm.sync.DsmLock`-protected
+  max-fold into a shared cell), with a barrier per iteration.  Crashing
+  node 1 mid-run takes out the page's home, the lock's home, and a
+  participant at once -- exercising the directory rebuild, lease
+  expiry, and lock revocation paths end to end.  Recovery is always
+  armed for this kind; the critical section is idempotent and
+  commutative (a max-fold), so a revoked-then-replayed tenure commits
+  the same bytes.
 
 All app bodies are **restartable state machines**: loop progress lives
 in the node's DSM scratch words, writes are pure functions of (node,
@@ -30,7 +40,7 @@ sharded run constructs it identically); the ``dsm`` scenario in
 from repro.dsm.runtime import DsmRuntime
 from repro.dsm.segment import DsmSegment
 from repro.dsm.state import DsmLayout
-from repro.dsm.sync import DsmBarrier
+from repro.dsm.sync import DsmBarrier, DsmLock
 from repro.machine.system import ShrimpSystem
 from repro.memsys.address import PAGE_SIZE, WORD_SIZE
 from repro.sim.process import Timeout
@@ -45,7 +55,7 @@ SCRATCH_ACCUM = 3     # app-local checksum accumulator
 #: Value words are masked to 2^32 like everything on the wire.
 _MASK = 0xFFFFFFFF
 
-APP_KINDS = ("stencil", "bfs", "kv")
+APP_KINDS = ("stencil", "bfs", "kv", "homecrash")
 
 #: Distance-array sentinel for unvisited BFS nodes.
 BFS_INF = 0x3FFFFFFF
@@ -66,7 +76,7 @@ class DsmWorkload:
 
     def __init__(self, kind="stencil", width=4, height=4, iterations=2,
                  words=8, rounds=None, params=None, seed=1, requests=32,
-                 params_factory=None):
+                 params_factory=None, recovery=False):
         if kind not in APP_KINDS:
             raise ValueError("unknown DSM app kind %r (have %s)"
                              % (kind, ", ".join(APP_KINDS)))
@@ -99,12 +109,32 @@ class DsmWorkload:
 
         pairs = self._pairs()
         self.runtime = DsmRuntime(self.system, self.layout, pairs)
+        #: Crash recovery is opt-in for the steady-state kinds (their
+        #: golden traces predate it) and mandatory for homecrash.
+        self.recovery = bool(recovery) or kind == "homecrash"
+        if self.recovery:
+            self.runtime.arm_recovery(seed=seed)
         self.segments = [DsmSegment(self.runtime, i) for i in range(n)]
+        if kind == "homecrash":
+            participants = self.active_nodes()
+            if self.words < len(participants) + 1:
+                raise ValueError(
+                    "homecrash needs %d words (max cell + one slot per "
+                    "active node), got %d" % (len(participants) + 1,
+                                              self.words))
+        else:
+            participants = list(range(n))
         #: The barrier every app family synchronises on: node 0's sync
-        #: page (global page 1).
-        self.barrier = DsmBarrier(self.runtime, 1, list(range(n)),
+        #: page (global page 1).  The homecrash kind synchronises only
+        #: its active row.
+        self.barrier = DsmBarrier(self.runtime, 1, participants,
                                   scratch_index=SCRATCH_BARRIER)
-        for node_id in range(n):
+        self.lock = None
+        if kind == "homecrash":
+            #: The contended lock lives on node 1's sync page -- crash
+            #: node 1 and the lock home dies with the page home.
+            self.lock = DsmLock(self.runtime, 3, scratch_index=SCRATCH_LOCK)
+        for node_id in participants:
             self.runtime.add_app(node_id, self._app_factory(node_id))
         if kind == "bfs":
             # Seed the distance array: node 0 at distance 0, rest INF.
@@ -114,6 +144,17 @@ class DsmWorkload:
                     0 if node_id == 0 else BFS_INF)
 
     # -- shared-space geometry -------------------------------------------------
+
+    def active_nodes(self):
+        """The homecrash kind's participants: the mesh's first row.
+
+        Keeping the whole DSM footprint (participants, both page homes,
+        every barrier-tree edge) inside one row is what lets the sharded
+        ``dsm_homecrash`` scenario declare an in-shard ``crash_coupling``
+        on a contiguous partition.
+        """
+        return sorted(self.topology.node_at((x, 0))
+                      for x in range(self.width))
 
     def data_page(self, node_id):
         return 2 * node_id
@@ -147,6 +188,15 @@ class DsmWorkload:
         rather than a participant--home star, which on a 64-node mesh
         would aim 63 simultaneous arrivals at one node.
         """
+        if self.kind == "homecrash":
+            active = self.active_nodes()
+            pairs = set(DsmBarrier.tree_edges(active))
+            data_home = self.layout.home_of(self.data_page(1))
+            lock_home = self.layout.home_of(3)
+            for node_id in active:
+                pairs.add(tuple(sorted((node_id, data_home))))
+                pairs.add(tuple(sorted((node_id, lock_home))))
+            return [p for p in sorted(pairs) if p[0] != p[1]]
         pairs = set(DsmBarrier.tree_edges(range(self.node_count)))
         for node_id in range(self.node_count):
             if self.kind == "stencil":
@@ -166,7 +216,8 @@ class DsmWorkload:
 
     def _app_factory(self, node_id):
         body = {"stencil": self._stencil_body, "bfs": self._bfs_body,
-                "kv": self._kv_body}[self.kind]
+                "kv": self._kv_body,
+                "homecrash": self._homecrash_body}[self.kind]
 
         def factory():
             return body(node_id)
@@ -229,6 +280,37 @@ class DsmWorkload:
             yield from self.barrier.wait(node_id, round_index)
             memory.write_word(self._progress_addr(), round_index)
 
+    def _homecrash_body(self, node_id):
+        """Churn the victim-homed page: slot write, locked max-fold,
+        barrier.
+
+        Everything here is crash-replayable: the slot word is a pure
+        function of (node, iteration), the max-fold is idempotent and
+        commutative, and progress only advances after the barrier -- so
+        a rolled-back participant (or a revoked lock tenure re-run after
+        a lease expiry) re-commits identical bytes.
+        """
+        segment = self.segments[node_id]
+        memory = self.system.nodes[node_id].memory
+        slot = self.active_nodes().index(node_id)
+        while True:
+            done = memory.read_word(self._progress_addr())
+            if done >= self.iterations:
+                break
+            iteration = done + 1
+            yield from segment.store_word(
+                self.data_addr(1, 1 + slot),
+                stencil_value(node_id, iteration, 1 + slot))
+            yield from self.lock.acquire(node_id)
+            current = yield from segment.load_word(self.data_addr(1, 0))
+            candidate = stencil_value(node_id, iteration, 0)
+            if candidate > current:
+                yield from segment.store_word(self.data_addr(1, 0),
+                                              candidate)
+            self.lock.release(node_id)
+            yield from self.barrier.wait(node_id, iteration)
+            memory.write_word(self._progress_addr(), iteration)
+
     def _kv_body(self, node_id):
         """Open-loop gets/puts against the shared space."""
         segment = self.segments[node_id]
@@ -290,6 +372,20 @@ class DsmWorkload:
             for word in range(self.words):
                 words[word] = stencil_value(node_id, self.iterations, word)
             chunks.append(words)
+        return chunks
+
+    def expected_homecrash(self):
+        """Fault-free final data-page contents for the homecrash app."""
+        active = self.active_nodes()
+        chunks = []
+        for node_id in range(self.node_count):
+            chunks.append([0] * (PAGE_SIZE // WORD_SIZE))
+        words = chunks[1]
+        words[0] = max(stencil_value(node, iteration, 0)
+                       for node in active
+                       for iteration in range(1, self.iterations + 1))
+        for slot, node in enumerate(active):
+            words[1 + slot] = stencil_value(node, self.iterations, 1 + slot)
         return chunks
 
     def expected_bfs(self):

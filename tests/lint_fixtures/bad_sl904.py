@@ -1,0 +1,21 @@
+# simlint: scope=sim
+"""SL904: the rebuild broadcast walks peers in dict order."""
+
+WRITE_OK = "write_ok"
+RECOVER_REQ = "recover_req"
+
+
+class HomeEngine:
+    def __init__(self, channel, peers):
+        self.channel = channel
+        self.peers = peers  # a set: iteration order is not deterministic
+
+    def _send(self, dst, kind, epoch):
+        self.channel.send(dst, kind, epoch)
+
+    def start_rebuild(self, epoch):
+        # BUG: claim collection order follows the set's hash order, so
+        # the rebuild's conflict resolution sees a different arrival
+        # order on every host.
+        for peer in self.peers:
+            self._send(peer, RECOVER_REQ, epoch)

@@ -1,0 +1,18 @@
+# simlint: scope=sim
+"""SL904 pass: the rebuild broadcast iterates peers in sorted order."""
+
+WRITE_OK = "write_ok"
+RECOVER_REQ = "recover_req"
+
+
+class HomeEngine:
+    def __init__(self, channel, peers):
+        self.channel = channel
+        self.peers = peers
+
+    def _send(self, dst, kind, epoch):
+        self.channel.send(dst, kind, epoch)
+
+    def start_rebuild(self, epoch):
+        for peer in sorted(self.peers):
+            self._send(peer, RECOVER_REQ, epoch)

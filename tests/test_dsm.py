@@ -17,7 +17,11 @@ The acceptance surface of the DSM subsystem:
 - the deprecation shims the old push-only :mod:`repro.shmem` names
   turned into;
 - crash/restore + seeded link-flap convergence: the shared space ends
-  byte-identical to the fault-free run (hypothesis property).
+  byte-identical to the fault-free run (hypothesis property);
+- home-crash recovery (``arm_recovery``): a crashed *home* rebuilds its
+  directory from survivor claims and every app kind still converges, a
+  crashed lock holder's tenure is revoked by the lease detector, and
+  the ``dsm_homecrash`` scenario is bit-identical at 4 shards.
 """
 
 import json
@@ -47,6 +51,7 @@ from repro.faults.recovery import (
     crash_node,
     invalidate_node_mappings,
     recover_node,
+    spawn_crash_restore_cycle,
 )
 from repro.machine import ShrimpSystem
 from repro.memsys.address import PAGE_SIZE, WORD_SIZE, page_number
@@ -591,3 +596,136 @@ class TestFaultConvergence:
         """Property: link flaps + one crash/restore never change the
         final shared bytes -- rollback + replay is exact."""
         assert _stencil_under_faults(seed=seed) == _stencil_reference()
+
+
+# -- home-crash recovery (arm_recovery) ---------------------------------------
+
+#: Per-kind workload kwargs for the home-crash convergence surface.
+#: All three kinds put remotely held pages 2/3 under node 1, so
+#: crashing node 1 kills a *home* whose directory the survivors must
+#: rebuild (not just a client the channel layer replays).
+_RECOVERY_KINDS = {
+    "stencil": dict(iterations=2, words=4),
+    "bfs": dict(),
+    "kv": dict(seed=3, requests=24),
+}
+
+_recovery_reference_cache = {}
+
+
+def _recovery_reference(kind):
+    if kind not in _recovery_reference_cache:
+        w = DsmWorkload(kind=kind, width=2, height=2,
+                        **_RECOVERY_KINDS[kind]).start()
+        w.run()
+        _recovery_reference_cache[kind] = w.final_shared_bytes()
+    return _recovery_reference_cache[kind]
+
+
+def _under_home_crash(kind, fault_seed, crash_at=30_000, dwell=8_000):
+    """One faulty run: seeded link flaps plus a mid-run crash/restore of
+    home node 1, with the lease/rebuild recovery machinery armed."""
+    w = DsmWorkload(kind=kind, width=2, height=2, recovery=True,
+                    **_RECOVERY_KINDS[kind]).start()
+    plan = FaultPlan.seeded(
+        fault_seed, 150_000,
+        link_names=["link(0,0)->(0,1)", "link(1,0)->(0,0)"],
+        flaps_per_link=1,
+    )
+    FaultController(w.system, plan).arm()
+    outcome = {}
+    spawn_crash_restore_cycle(
+        w.system, 1, crash_at, dwell, w.runtime.mappings,
+        channels=list(w.runtime.channels()) + [w.runtime],
+        outcome=outcome,
+    )
+    w.run()
+    assert "restored_at" in outcome, "recovery never completed"
+    return w.final_shared_bytes()
+
+
+class TestHomeCrashRecovery:
+    @pytest.mark.parametrize("kind", sorted(_RECOVERY_KINDS))
+    def test_home_crash_converges(self, kind):
+        assert _under_home_crash(kind, fault_seed=0) \
+            == _recovery_reference(kind)
+
+    @pytest.mark.slow
+    @settings(max_examples=6, deadline=None)
+    @given(kind=st.sampled_from(sorted(_RECOVERY_KINDS)),
+           fault_seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_seeded_home_crashes_converge(self, kind, fault_seed):
+        """Property: a home crash under an arbitrary seeded fault plan
+        never changes the final shared bytes -- the directory rebuild is
+        exactly as good as never having crashed."""
+        assert _under_home_crash(kind, fault_seed=fault_seed) \
+            == _recovery_reference(kind)
+
+    def test_homecrash_kind_converges_through_its_home_crash(self):
+        """The dedicated homecrash app (locked max-fold on victim-homed
+        pages) survives its lock home + data home dying mid-run."""
+        w = DsmWorkload(kind="homecrash", width=4, height=1,
+                        iterations=2).start()
+        outcome = {}
+        spawn_crash_restore_cycle(
+            w.system, 1, 400_000, 120_000, w.runtime.mappings,
+            channels=list(w.runtime.channels()) + [w.runtime],
+            outcome=outcome,
+        )
+        w.run()
+        assert "restored_at" in outcome
+        assert w.final_shared_bytes() == w.expected_homecrash()
+        hub = Instrumentation.of(w.system.sim)
+        assert hub.value("dsm.rebuilds") == 1
+        assert hub.value("dsm.replays") > 0
+
+    def test_lock_holder_crash_is_revoked_by_the_lease(self):
+        """A dead holder (not the home) stops heartbeating; the home
+        revokes its tenure when the next waiter shows up, so waiters are
+        never stranded."""
+        system = make_system(2, 2)
+        runtime = make_runtime(system)
+        runtime.arm_recovery(seed=7, renew_ns=5_000, lock_lease_ns=30_000)
+        lock = DsmLock(runtime, 1)  # homed at node 1
+        runtime.start()
+        hub = Instrumentation.of(system.sim)
+        hub.enable_events()
+        victim, waiter = 2, 3
+        assert victim != lock.home
+        got = {}
+
+        def holder():
+            yield from lock.acquire(victim)
+            got["held_at"] = system.sim.now
+            # Dies below holding the lock -- never releases.
+
+        def crash():
+            yield Timeout(10_000)
+            yield from crash_node(
+                system, victim,
+                channels=list(runtime.channels()) + [runtime])
+
+        def waiting():
+            yield Timeout(15_000)
+            yield from lock.acquire(waiter)
+            got["reacquired_at"] = system.sim.now
+            lock.release(waiter)
+
+        drive(system, holder(), crash(), waiting())
+        assert got["held_at"] < got["reacquired_at"]
+        revokes = [e for e in hub.events() if e.kind == "dsm.lock_revoke"]
+        assert [(e.fields["holder"], e.fields["by"]) for e in revokes] \
+            == [(victim, waiter)]
+        assert hub.value("dsm.lock_revokes") == 1
+
+    def test_homecrash_scenario_bit_identical_1_vs_4_shards(self):
+        """The sharded acceptance pin: the 4x4 home-crash scenario --
+        crash, rebuild, replay and all -- is bit-identical at 4 shards
+        (contiguous partition; the whole coupled set is shard 0's row)."""
+        reference = run_single("dsm_homecrash", collect_events=True)
+        kinds = {json.loads(e)["kind"] for e in reference["events"]}
+        assert "dsm.rebuild_start" in kinds and "dsm.rebuild_done" in kinds
+        assert "dsm.replay" in kinds
+        merged = run_sharded("dsm_homecrash", 4, collect_events=True)
+        assert merged["fingerprint"] == reference["fingerprint"]
+        assert merged["events"] == reference["events"]

@@ -29,7 +29,7 @@ ALL_CODES = [
     "SL601",
     "SL701",
     "SL801",
-    "SL901", "SL902", "SL903",
+    "SL901", "SL902", "SL903", "SL904",
     "SL1001", "SL1002",
     "SL1101", "SL1102",
 ]

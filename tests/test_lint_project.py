@@ -272,9 +272,9 @@ class _StubHub:
             self.callback(event)
 
 
-def _fault(node, write=True):
-    return _Event("dsm.fault", "dsm", node=node, page=0, write=write,
-                  home=0, frame=FRAME)
+def _fault(node, write=True, token=1, time=0):
+    return _Event("dsm.fault", "dsm", time=time, node=node, page=0,
+                  write=write, home=0, frame=FRAME, token=token)
 
 
 def _push(dst, src=0):
@@ -286,8 +286,9 @@ def _deposit(node):
                   originator="node%d.nic.in" % node, locked=False)
 
 
-def _grant(node, write=True):
-    return _Event("dsm.grant", "dsm", node=node, page=0, write=write)
+def _grant(node, write=True, token=1, time=0):
+    return _Event("dsm.grant", "dsm", time=time, node=node, page=0,
+                  write=write, token=token)
 
 
 def test_sanitizer_accepts_the_contractual_order():
@@ -302,8 +303,12 @@ def test_sanitizer_accepts_the_contractual_order():
 def test_sanitizer_flags_a_grant_with_no_fault():
     hub = _StubHub()
     checker = HappensBeforeSanitizer(hub)
-    # node 0 is the home: only the fault edge applies to its grants.
-    hub.feed(_fault(0), _grant(0), _grant(0))
+    # node 0 is the home: only the fault edge applies to its grants.  A
+    # repeated grant with the *same* token is the sanctioned home-
+    # demotion re-grant; a token no fault ever raised is a violation.
+    hub.feed(_fault(0, token=7), _grant(0, token=7), _grant(0, token=7))
+    assert checker.violations == []
+    hub.feed(_grant(0, token=9))
     assert len(checker.violations) == 1
     assert "no outstanding dsm.fault" in checker.violations[0]
 
@@ -342,6 +347,45 @@ def test_sanitizer_tracks_the_write_holder():
     assert "without the write right" in checker.violations[0]
 
 
+def _rebuild_start(node, epoch=1, time=0):
+    return _Event("dsm.rebuild_start", "dsm", time=time, node=node,
+                  epoch=epoch, peers=[])
+
+
+def _rebuild_done(node, epoch=1, time=0):
+    return _Event("dsm.rebuild_done", "dsm", time=time, node=node,
+                  epoch=epoch, deferred=0)
+
+
+def test_sanitizer_checks_rebuild_window_nesting():
+    hub = _StubHub()
+    checker = HappensBeforeSanitizer(hub)
+    hub.feed(_rebuild_start(0, epoch=1), _rebuild_done(0, epoch=1),
+             _rebuild_start(0, epoch=2), _rebuild_done(0, epoch=2))
+    assert checker.violations == []
+    hub.feed(_rebuild_done(0, epoch=3))
+    assert "without an open" in checker.violations[0]
+    hub.feed(_rebuild_start(0, epoch=4), _rebuild_start(0, epoch=5))
+    assert any("nests inside" in v for v in checker.violations)
+    hub.feed(_rebuild_done(0, epoch=5), _rebuild_start(0, epoch=5))
+    assert any("non-increasing epoch" in v for v in checker.violations)
+
+
+def test_sanitizer_flags_a_grant_answering_a_mid_rebuild_fault():
+    hub = _StubHub()
+    checker = HappensBeforeSanitizer(hub)
+    # A fault raised *before* the home's rebuild may be granted inside
+    # the window: that is the retransmitted pre-crash grant the channel
+    # delivers ahead of RECOVER_REQ on the same FIFO.
+    hub.feed(_fault(0, token=1, time=10), _rebuild_start(0, time=20),
+             _grant(0, token=1, time=30))
+    assert checker.violations == []
+    # A fault raised after rebuild_start must be deferred, not granted.
+    hub.feed(_fault(0, token=2, time=40), _grant(0, token=2, time=50))
+    assert len(checker.violations) == 1
+    assert "deferred until dsm.rebuild_done" in checker.violations[0]
+
+
 def test_sanitize_run_is_clean_on_the_dsm_scenario():
     """End-to-end smoke: the shipped protocol upholds its own contract."""
     out = io.StringIO()
@@ -350,3 +394,12 @@ def test_sanitize_run_is_clean_on_the_dsm_scenario():
     assert "0 violation(s)" in summary
     match = re.search(r"(\d+) grant\(s\)", summary)
     assert match and int(match.group(1)) > 0
+
+
+def test_sanitize_run_is_clean_on_the_homecrash_scenario():
+    """The crash-recovery arc (home crash, directory rebuild, replays)
+    upholds the happens-before contract end to end."""
+    out = io.StringIO()
+    assert run_sanitized("dsm_homecrash", out=out) == 0
+    summary = out.getvalue()
+    assert "0 violation(s)" in summary

@@ -15,7 +15,7 @@ from repro.ckpt.safepoint import seek_safepoint
 from repro.ckpt.scenarios import build_ping_pong
 from repro.ckpt.system import SystemCheckpoint
 from repro.faults.controller import FaultController
-from repro.faults.plan import FaultPlan, NodeCrash
+from repro.faults.plan import FaultPlan, FaultPlanError, NodeCrash
 from repro.machine.sharding import (
     ShardWorld,
     boundary_link_map,
@@ -145,13 +145,48 @@ def test_seeded_fault_plans_shard_equivalence(fault_seed, shards):
 # -- guard rails --------------------------------------------------------------
 
 
-def test_node_crash_plans_are_rejected():
+def test_node_crash_without_coupling_is_rejected():
+    # A crash is shardable only when the controller declares which
+    # nodes its recovery touches; an undeclared crash must not silently
+    # run with half its recovery state in another shard.
     system = build_ping_pong(rounds=1)
     controller = FaultController(
         system, FaultPlan([NodeCrash(1_000, 0)])
     ).arm()
-    with pytest.raises(ShardError, match="node_crash"):
+    with pytest.raises(FaultPlanError, match="crash_coupling"):
         ShardWorld(system, 0, 2, controller=controller)
+
+
+def test_node_crash_coupled_across_shards_is_rejected():
+    system = build_ping_pong(rounds=1)
+    controller = FaultController(
+        system, FaultPlan([NodeCrash(1_000, 0)]),
+        crash_coupling={0: [0, 1]},   # node 1 lands in the other shard
+    ).arm()
+    with pytest.raises(FaultPlanError, match="shard boundary"):
+        ShardWorld(system, 0, 2, controller=controller)
+
+
+def test_node_crash_coupled_within_one_shard_is_accepted():
+    system = build_ping_pong(rounds=1)
+    controller = FaultController(
+        system, FaultPlan([NodeCrash(1_000, 0)]),
+        crash_coupling={0: [0]},
+    ).arm()
+    world = ShardWorld(system, 0, 2, controller=controller)
+    assert world.owns_node(0)
+    # The crash stays armed in the victim's shard...
+    assert any(not scheduled.cancelled
+               for _, scheduled in controller.armed_events)
+    # ...and is cancelled everywhere else.
+    system2 = build_ping_pong(rounds=1)
+    controller2 = FaultController(
+        system2, FaultPlan([NodeCrash(1_000, 0)]),
+        crash_coupling={0: [0]},
+    ).arm()
+    ShardWorld(system2, 1, 2, controller=controller2)
+    assert all(scheduled.cancelled
+               for _, scheduled in controller2.armed_events)
 
 
 def test_unknown_scenario_and_backend_are_rejected():
